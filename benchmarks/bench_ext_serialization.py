@@ -1,0 +1,46 @@
+"""Extension bench — serialization styles (the paper's Sec. 5 preliminary).
+
+Compares plain concatenation, DITTO's [COL]/[VAL] tags, and the paper's
+proposed natural-language "description structures" on one benchmark.
+Shape check: structured serializations don't collapse relative to plain
+(the paper's preliminary claim is that descriptions improve robustness).
+"""
+
+from benchmarks.helpers import RESULTS_DIR, run_once
+from repro.eval.reporting import format_table
+from repro.experiments.config import active_profile, spec_for
+from repro.experiments.runner import run_experiment
+
+_STYLED_MODELS = (
+    ("bert (plain)", "bert"),
+    ("ditto ([COL]/[VAL])", "ditto"),
+    ("bert (described)", "bert_described"),
+    ("emba (plain)", "emba"),
+    ("emba (described)", "emba_described"),
+)
+
+
+def test_serialization_styles(benchmark):
+    profile = active_profile()
+
+    def compute():
+        rows = []
+        for label, model in _STYLED_MODELS:
+            spec = spec_for("wdc_computers", "medium", model, 0, profile)
+            metrics = run_experiment(spec)
+            rows.append([label, round(100 * metrics["em_f1"], 2)])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    rendered = format_table(["serialization", "EM F1"], rows,
+                            title="Extension: serialization styles "
+                                  "(WDC computers medium)")
+    (RESULTS_DIR / "ext_serialization.txt").write_text(rendered + "\n")
+
+    scores = dict(rows)
+    # The single-task matcher tolerates the description structures (the
+    # paper's preliminary robustness claim).  EMBA does not at mini
+    # scale — the verbose serialization roughly doubles the sequence a
+    # tiny AoA must align — so that row is reported but not asserted;
+    # EXPERIMENTS.md discusses the divergence.
+    assert scores["bert (described)"] >= scores["bert (plain)"] - 20.0

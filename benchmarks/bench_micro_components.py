@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the core components (classic pytest-benchmark).
+
+These measure the per-call cost of the pieces the throughput numbers in
+Table 7 decompose into: the AoA module, a transformer layer forward,
+WordPiece encoding, and a full training step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bert.config import PRESETS
+from repro.bert.model import BertModel
+from repro.data.loader import PairEncoder, collate
+from repro.data.registry import load_dataset
+from repro.models import Emba, JointBert
+from repro.models.aoa import AttentionOverAttention
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+from repro.text import WordPieceTokenizer, train_wordpiece
+from repro.text.corpus import build_corpus
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = load_dataset("wdc_computers", size="medium")
+    corpus = build_corpus([dataset])
+    tokenizer = WordPieceTokenizer(train_wordpiece(corpus, vocab_size=2000))
+    config = PRESETS["mini-base"].with_vocab(len(tokenizer.vocab))
+    encoder = PairEncoder(tokenizer, max_length=config.max_position)
+    batch = collate(encoder.encode_many(dataset.train[:16], dataset))
+    return {"dataset": dataset, "tokenizer": tokenizer, "config": config,
+            "batch": batch, "corpus": corpus}
+
+
+def test_aoa_forward(benchmark):
+    rng = np.random.default_rng(0)
+    sequence = Tensor(rng.normal(size=(16, 64, 64)).astype(np.float32))
+    mask1 = np.zeros((16, 64), dtype=np.float32)
+    mask2 = np.zeros((16, 64), dtype=np.float32)
+    mask1[:, 1:30] = 1
+    mask2[:, 32:62] = 1
+    aoa = AttentionOverAttention()
+    benchmark(lambda: aoa(sequence, mask1, mask2))
+
+
+def test_bert_forward(benchmark, workload):
+    model = BertModel(workload["config"], np.random.default_rng(0))
+    model.eval()
+    batch = workload["batch"]
+
+    def step():
+        with no_grad():
+            model(batch.input_ids, batch.attention_mask, batch.segment_ids)
+
+    benchmark(step)
+
+
+def test_wordpiece_encoding(benchmark, workload):
+    tokenizer = workload["tokenizer"]
+    texts = [p.record1.text() for p in workload["dataset"].train[:64]]
+
+    def encode_all():
+        for text in texts:
+            tokenizer.encode(text)
+
+    benchmark(encode_all)
+
+
+@pytest.mark.parametrize("model_cls", [Emba, JointBert])
+def test_training_step(benchmark, workload, model_cls):
+    config = workload["config"]
+    encoder = BertModel(config, np.random.default_rng(0))
+    model = model_cls(encoder, config.hidden_size,
+                      workload["dataset"].num_id_classes,
+                      np.random.default_rng(1))
+    optimizer = Adam(model.parameters(), lr=1e-4)
+    batch = workload["batch"]
+
+    def step():
+        output = model(batch)
+        loss = model.loss(output, batch)
+        model.zero_grad()
+        loss.backward()
+        optimizer.step()
+
+    benchmark(step)

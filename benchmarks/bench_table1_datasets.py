@@ -1,0 +1,37 @@
+"""Table 1 — dataset statistics for all 22 benchmark configurations.
+
+Checks the paper's qualitative properties: WDC sizes are ordered, the
+WDC families are near-balanced (low LRID), and dblp-scholar is the most
+imbalanced family (paper LRID 4.548, the maximum in Table 1).
+"""
+
+import math
+
+from benchmarks.helpers import RESULTS_DIR, run_once
+from repro.experiments.tables import table1
+
+
+def test_table1_dataset_statistics(benchmark):
+    result = run_once(benchmark, table1)
+    result.save(RESULTS_DIR)
+
+    assert len(result.rows) == 22
+    rows = {(r[0], r[1]): r for r in result.rows}
+
+    # WDC training sizes strictly ordered small < medium < large < xlarge.
+    for category in ("wdc_computers", "wdc_cameras", "wdc_watches", "wdc_shoes"):
+        totals = [rows[(category, s)][2] + rows[(category, s)][3]
+                  for s in ("small", "medium", "large", "xlarge")]
+        assert totals == sorted(totals)
+        assert totals[0] < totals[-1]
+
+    # Negative pairs dominate everywhere (the paper's pair ratios).
+    for row in result.rows:
+        assert row[3] > row[2]
+
+    # dblp-scholar has the highest LRID of the dataset families.
+    lrid = {key: rows[key][4] for key in rows}
+    dblp = lrid[("dblp_scholar", "default")]
+    assert not math.isnan(dblp)
+    for category in ("wdc_computers", "wdc_cameras", "wdc_watches", "wdc_shoes"):
+        assert dblp > lrid[(category, "xlarge")]

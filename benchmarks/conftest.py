@@ -1,0 +1,33 @@
+"""Benchmark session support.
+
+At the end of a benchmark session, every table/figure rendering saved
+under ``results/`` is echoed into the terminal report so the rendered
+reproductions appear in ``bench_output.txt`` alongside the timing table.
+"""
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    reports = sorted(RESULTS_DIR.glob("*.txt")) if RESULTS_DIR.exists() else []
+    reports = [p for p in reports if not p.name.endswith("_log.txt")]
+    if not reports:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for path in reports:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"----- {path.name} -----")
+        for line in path.read_text(encoding="utf-8").splitlines():
+            terminalreporter.write_line(line)
+
+    # Assemble the consolidated markdown report from everything saved.
+    try:
+        from repro.experiments.report import write_report
+
+        out = write_report(RESULTS_DIR, RESULTS_DIR / "REPORT.md")
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"consolidated report: {out}")
+    except Exception as error:  # report assembly must never fail the bench
+        terminalreporter.write_line(f"report assembly skipped: {error}")

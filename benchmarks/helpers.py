@@ -1,0 +1,25 @@
+"""Shared benchmark utilities."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def run_once(benchmark, fn):
+    """Execute an experiment exactly once under pytest-benchmark timing.
+
+    Table reproductions are long-running, cache-backed computations;
+    repeating them would only measure the cache, so a single round is
+    the honest measurement.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def value_of(cell) -> float:
+    """Parse a table cell like '98.44(±0.82)' or '97.73' into a float."""
+    text = str(cell)
+    if text in ("-", ""):
+        return float("nan")
+    return float(text.split("(")[0])

@@ -1,0 +1,92 @@
+"""Bibliographic deduplication and the auxiliary-task pitfall.
+
+dblp-scholar is the paper's most imbalanced benchmark (LRID 4.5): the
+entity-ID auxiliary task (venue+year) has a few dominant classes and a
+long tail.  The paper's conclusion notes that redefining the auxiliary
+task (venue only, instead of venue+year) improved performance.  This
+example quantifies that: it trains EMBA with both auxiliary label
+definitions and with no auxiliary task at all (single-task BERT), and
+reports the LRID of each label space next to the resulting EM F1.
+
+Run:  python examples/bibliographic_dedup.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.bert import PRESETS, pretrained_bert
+from repro.data import PairEncoder, load_dataset
+from repro.data.imbalance import lrid
+from repro.data.schema import EMDataset, EntityPair, EntityRecord
+from repro.eval import format_table
+from repro.models import Emba, SingleTaskMatcher, TrainConfig, Trainer
+from repro.text import WordPieceTokenizer, train_wordpiece
+from repro.text.corpus import build_corpus
+
+
+def relabel_venue_only(dataset: EMDataset) -> EMDataset:
+    """Redefine the auxiliary label from venue+year to venue only."""
+
+    def strip_year(record: EntityRecord) -> EntityRecord:
+        venue = record.entity_id.rsplit("-", 1)[0] if record.entity_id else None
+        return EntityRecord(record.attributes, entity_id=venue,
+                            source=record.source)
+
+    def convert(pairs):
+        return [EntityPair(strip_year(p.record1), strip_year(p.record2), p.label)
+                for p in pairs]
+
+    out = EMDataset(name=f"{dataset.name}_venue_only",
+                    train=convert(dataset.train), valid=convert(dataset.valid),
+                    test=convert(dataset.test), metadata=dict(dataset.metadata))
+    out.id_classes = EMDataset.build_id_classes(out.all_pairs())
+    return out
+
+
+def label_lrid(dataset: EMDataset) -> float:
+    counts = Counter(r.entity_id for p in dataset.all_pairs()
+                     for r in (p.record1, p.record2) if r.entity_id)
+    return lrid(counts.values())
+
+
+def run(dataset: EMDataset, tokenizer, config, corpus, single_task=False) -> float:
+    pair_encoder = PairEncoder(tokenizer, max_length=config.max_position)
+    train = pair_encoder.encode_many(dataset.train, dataset)
+    valid = pair_encoder.encode_many(dataset.valid, dataset)
+    test = pair_encoder.encode_many(dataset.test, dataset)
+    encoder = pretrained_bert(config, tokenizer, corpus, seed=0)
+    rng = np.random.default_rng(0)
+    if single_task:
+        model = SingleTaskMatcher(encoder, config.hidden_size, rng)
+    else:
+        model = Emba(encoder, config.hidden_size, dataset.num_id_classes, rng)
+    trainer = Trainer(TrainConfig(epochs=30, patience=10, learning_rate=1e-3))
+    trainer.fit(model, train, valid)
+    return trainer.evaluate_f1(model, test)
+
+
+def main() -> None:
+    base = load_dataset("dblp_scholar")
+    venue_only = relabel_venue_only(base)
+
+    corpus = build_corpus([base])
+    tokenizer = WordPieceTokenizer(train_wordpiece(corpus, vocab_size=2000))
+    config = PRESETS["mini-base"].with_vocab(len(tokenizer.vocab))
+
+    rows = [
+        ["EMBA, aux = venue+year", base.num_id_classes,
+         round(label_lrid(base), 3), round(100 * run(base, tokenizer, config, corpus), 2)],
+        ["EMBA, aux = venue only", venue_only.num_id_classes,
+         round(label_lrid(venue_only), 3),
+         round(100 * run(venue_only, tokenizer, config, corpus), 2)],
+        ["BERT (no aux task)", 0, 0.0,
+         round(100 * run(base, tokenizer, config, corpus, single_task=True), 2)],
+    ]
+    print(format_table(
+        ["configuration", "aux classes", "aux LRID", "EM F1"],
+        rows, title="dblp-scholar: auxiliary-task design vs EM performance"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Low-label learning: self-training vs active learning.
+
+The paper's future work (Sec. 5) calls for semi-supervised approaches
+that "use a small portion of the training labels".  This example takes
+WDC computers (xlarge), keeps only 20% of the training labels, and
+compares three ways of spending the rest:
+
+- supervised on the 20% only (baseline);
+- self-training: pseudo-label the unlabeled 80% where confident;
+- active learning: query true labels for the most uncertain pairs
+  (simulated oracle), 16 per round.
+
+Run:  python examples/low_label_learning.py
+"""
+
+import numpy as np
+
+from repro.bert import PRESETS, pretrained_bert
+from repro.data import PairEncoder, load_dataset
+from repro.eval import format_table
+from repro.models import Emba, TrainConfig, Trainer, active_learn, self_train
+from repro.text import WordPieceTokenizer, train_wordpiece
+from repro.text.corpus import build_corpus
+
+
+def main() -> None:
+    dataset = load_dataset("wdc_computers", size="xlarge")
+    corpus = build_corpus([dataset])
+    tokenizer = WordPieceTokenizer(train_wordpiece(corpus, vocab_size=2000))
+    config = PRESETS["mini-base"].with_vocab(len(tokenizer.vocab))
+    pair_encoder = PairEncoder(tokenizer, max_length=config.max_position)
+
+    encoded = pair_encoder.encode_many(dataset.train, dataset)
+    valid = pair_encoder.encode_many(dataset.valid, dataset)
+    test = pair_encoder.encode_many(dataset.test, dataset)
+
+    rng = np.random.default_rng(0)
+    order = rng.permutation(len(encoded))
+    cut = len(encoded) // 5
+    labeled = [encoded[i] for i in order[:cut]]
+    unlabeled = [encoded[i] for i in order[cut:]]
+    print(f"labels available: {len(labeled)} of {len(encoded)} training pairs")
+
+    def factory():
+        encoder = pretrained_bert(config, tokenizer, corpus, seed=0)
+        return Emba(encoder, config.hidden_size, dataset.num_id_classes,
+                    np.random.default_rng(1))
+
+    train_config = TrainConfig(epochs=20, patience=10, learning_rate=1e-3,
+                               seed=0)
+    trainer = Trainer(train_config)
+
+    # Baseline: the labeled 20% only.
+    baseline = factory()
+    trainer.fit(baseline, labeled, valid)
+    rows = [["supervised (20% labels)",
+             round(100 * trainer.evaluate_f1(baseline, test), 2), len(labeled)]]
+
+    # Self-training over the unlabeled pool.
+    st = self_train(factory, labeled, unlabeled, valid, train_config,
+                    rounds=2, confidence=0.9)
+    rows.append(["self-training",
+                 round(100 * trainer.evaluate_f1(st.model, test), 2),
+                 len(labeled) + sum(st.pseudo_labels_per_round)])
+
+    # Active learning with a 16-pair budget per round.
+    al = active_learn(factory, labeled, unlabeled, valid, train_config,
+                      rounds=3, budget_per_round=16)
+    rows.append(["active learning (2x16 queries)",
+                 round(100 * trainer.evaluate_f1(al.model, test), 2),
+                 al.labeled_per_round[-1]])
+
+    print(format_table(
+        ["strategy", "test F1", "train pool size"],
+        rows, title="\nWDC computers xlarge with 20% labels"))
+
+
+if __name__ == "__main__":
+    main()

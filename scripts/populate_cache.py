@@ -1,0 +1,38 @@
+"""Pre-populate the run cache for the quick-profile benchmarks.
+
+Run-cache entries are keyed by spec digest, so the benchmarks afterwards
+render every table from cache in seconds.  Safe to re-run: completed
+runs are skipped.
+"""
+
+import time
+
+from repro.experiments.config import PROFILES, TABLE6_MODELS, spec_for
+from repro.experiments.runner import run_experiment
+from repro.experiments.tables import TABLE6_POSITIVES, _ablation_specs, _main_grid_specs
+
+profile = PROFILES["quick"]
+specs = _main_grid_specs(profile) + _ablation_specs(profile)
+specs += [
+    spec_for("wdc_computers", "xlarge", model, 0, profile,
+             subsample_positives=num_pos)
+    for num_pos in TABLE6_POSITIVES
+    for model in TABLE6_MODELS
+]
+
+seen = set()
+unique = []
+for s in specs:
+    if s.digest() not in seen:
+        seen.add(s.digest())
+        unique.append(s)
+
+start = time.time()
+for i, spec in enumerate(unique):
+    t0 = time.time()
+    metrics = run_experiment(spec)
+    print(f"[{i+1}/{len(unique)}] {spec.model:14s} {spec.dataset}/{spec.size}"
+          f" seed={spec.seed} sub={spec.subsample_positives}"
+          f" f1={metrics['em_f1']:.3f} ({time.time()-t0:.1f}s, total {time.time()-start:.0f}s)",
+          flush=True)
+print("DONE", time.time() - start, "seconds")

@@ -1,0 +1,11 @@
+"""Pre-compute the extension-bench runs not covered by the main grid."""
+
+from repro.experiments.config import PROFILES, spec_for
+from repro.experiments.runner import run_experiment
+
+profile = PROFILES["quick"]
+for model in ("emba_unmasked_aoa", "bert_described", "emba_described"):
+    spec = spec_for("wdc_computers", "medium", model, 0, profile)
+    metrics = run_experiment(spec)
+    print(model, round(metrics["em_f1"], 3), flush=True)
+print("EXT DONE")

@@ -1,0 +1,21 @@
+"""repro — a from-scratch reproduction of EMBA (EDBT 2024).
+
+EMBA: Entity Matching using Multi-Task Learning of BERT with
+Attention-over-Attention (Zhang, Sun, Ho; EDBT 2024).
+
+Subpackages
+-----------
+- :mod:`repro.nn` — numpy autodiff + neural-network framework
+- :mod:`repro.text` — WordPiece tokenizer, vocabularies, subword hashing
+- :mod:`repro.bert` — transformer encoder + MLM pre-training
+- :mod:`repro.fasttext` — subword-hash embeddings (EMBA (FT))
+- :mod:`repro.data` — synthetic EM benchmarks + loading machinery
+- :mod:`repro.models` — EMBA, JointBERT, baselines, ablations, trainer
+- :mod:`repro.eval` — metrics, significance tests, throughput
+- :mod:`repro.explain` — LIME and attention visualization
+- :mod:`repro.experiments` — tables 1-7 and figures 5-6 harness
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

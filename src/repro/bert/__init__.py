@@ -1,0 +1,25 @@
+"""repro.bert — a from-scratch BERT-style transformer encoder.
+
+Replaces HuggingFace Transformers for the reproduction.  Provides
+configurable encoder presets mirroring the paper's encoder variants
+(BERT-base / BERT-small / distilBERT / RoBERTa, at mini scale), an MLM
+pre-training loop, and a disk cache so pre-training runs once per
+(config, corpus) pair.
+"""
+
+from repro.bert.config import PRESETS, BertConfig
+from repro.bert.model import BertModel, BertOutput
+from repro.bert.mlm import BertForMaskedLM, mask_tokens
+from repro.bert.pretrain import pretrain
+from repro.bert.cache import pretrained_bert
+
+__all__ = [
+    "BertConfig",
+    "BertForMaskedLM",
+    "BertModel",
+    "BertOutput",
+    "PRESETS",
+    "mask_tokens",
+    "pretrain",
+    "pretrained_bert",
+]

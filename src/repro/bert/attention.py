@@ -1,0 +1,69 @@
+"""Multi-head self-attention.
+
+The per-head attention maps are returned alongside the output because
+the paper's Figure 6 visualizes last-layer attention scores; the
+explainability module consumes them directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bert.config import BertConfig
+from repro.nn import functional as F
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard scaled-dot-product multi-head attention with masking."""
+
+    def __init__(self, config: BertConfig, rng: np.random.Generator):
+        super().__init__()
+        self.num_heads = config.num_heads
+        self.head_dim = config.head_dim
+        self.hidden = config.hidden_size
+        self.query = Linear(self.hidden, self.hidden, rng)
+        self.key = Linear(self.hidden, self.hidden, rng)
+        self.value = Linear(self.hidden, self.hidden, rng)
+        self.output = Linear(self.hidden, self.hidden, rng)
+        self.dropout = Dropout(config.attention_dropout, rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (B, S, H) -> (B, heads, S, head_dim)
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, hidden: Tensor, attention_mask: np.ndarray) -> tuple[Tensor, np.ndarray]:
+        """Attend within the sequence.
+
+        Parameters
+        ----------
+        hidden:
+            ``(batch, seq, hidden)`` input.
+        attention_mask:
+            ``(batch, seq)`` 1/0 keep mask over key positions.
+
+        Returns
+        -------
+        (output, attention_probs):
+            output is ``(batch, seq, hidden)``; attention_probs is a plain
+            ndarray ``(batch, heads, seq, seq)`` for visualization.
+        """
+        batch, seq, _ = hidden.shape
+        q = self._split_heads(self.query(hidden), batch, seq)
+        k = self._split_heads(self.key(hidden), batch, seq)
+        v = self._split_heads(self.value(hidden), batch, seq)
+
+        scores = q @ k.transpose(0, 1, 3, 2) * (1.0 / math.sqrt(self.head_dim))
+        # Mask key positions: (B, 1, 1, S) additive bias.
+        bias = F.attention_mask_bias(attention_mask[:, None, None, :], dtype=scores.dtype)
+        scores = scores + Tensor(bias)
+        probs = F.softmax(scores, axis=-1)
+        probs_dropped = self.dropout(probs)
+
+        context = probs_dropped @ v                       # (B, heads, S, head_dim)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.hidden)
+        return self.output(context), probs.data

@@ -1,0 +1,71 @@
+"""Encoder configuration and the paper's encoder-variant presets.
+
+The paper compares BERT-base against BERT-small ("a quarter of the
+trainable parameters"), distilBERT ("fewer layers but the same
+dimension"), and RoBERTa ("BERT with better pre-training and no
+NSP/segment objective").  Our presets preserve those *relationships* at
+mini scale:
+
+=============  ======  ======  =====  ==================================
+preset         layers  hidden  heads  notes
+=============  ======  ======  =====  ==================================
+mini-base      2       64      4      reference encoder ("BERT-base")
+mini-small     2       32      2      smaller dims ("BERT-small")
+mini-distil    1       64      4      fewer layers ("distilBERT")
+mini-roberta   2       64      4      no segment embeddings, longer MLM
+=============  ======  ======  =====  ==================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """Hyperparameters of the transformer encoder."""
+
+    vocab_size: int = 1024
+    hidden_size: int = 64
+    num_layers: int = 2
+    num_heads: int = 4
+    intermediate_size: int = 128
+    max_position: int = 96
+    num_segments: int = 2
+    dropout: float = 0.1
+    attention_dropout: float = 0.1
+    layer_norm_eps: float = 1e-5
+    use_segment_embeddings: bool = True
+    # Pre-training knobs.
+    mlm_probability: float = 0.15
+    pretrain_steps: int = 600
+    name: str = "mini-base"
+
+    def __post_init__(self):
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError(
+                f"hidden_size {self.hidden_size} not divisible by "
+                f"num_heads {self.num_heads}"
+            )
+        if self.num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    def with_vocab(self, vocab_size: int) -> "BertConfig":
+        """Copy with the vocabulary size fixed to a trained tokenizer's."""
+        return replace(self, vocab_size=vocab_size)
+
+
+PRESETS: dict[str, BertConfig] = {
+    "mini-base": BertConfig(name="mini-base"),
+    "mini-small": BertConfig(
+        hidden_size=32, num_heads=2, intermediate_size=64, name="mini-small"
+    ),
+    "mini-distil": BertConfig(num_layers=1, name="mini-distil"),
+    "mini-roberta": BertConfig(
+        use_segment_embeddings=False, pretrain_steps=900, name="mini-roberta"
+    ),
+}

@@ -1,0 +1,101 @@
+"""Contrastive representation learning (the paper's Sec. 5 future work).
+
+"Self-learning or contrastive learning approaches may yield
+generalizable representations that improve EM performance with fewer or
+no labeled data."
+
+:func:`contrastive_pretrain` adds a SimCSE-style stage on top of MLM
+pre-training: two stochastic (dropout-noised) encodings of the same
+entity description are pulled together and pushed away from the other
+descriptions in the batch with an InfoNCE loss over cosine
+similarities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bert.model import BertModel
+from repro.nn.losses import cross_entropy
+from repro.nn.optim import Adam, clip_grad_norm_
+from repro.nn.tensor import Tensor
+from repro.text.special_tokens import CLS_TOKEN, SEP_TOKEN
+from repro.text.wordpiece import WordPieceTokenizer
+
+
+@dataclass
+class ContrastiveResult:
+    """Tuned encoder plus the loss trajectory."""
+
+    model: BertModel
+    losses: list[float]
+
+
+def info_nce_loss(view_a: Tensor, view_b: Tensor, temperature: float = 0.1) -> Tensor:
+    """InfoNCE over cosine similarities: row i of A must match row i of B."""
+    def normalize(x: Tensor) -> Tensor:
+        norm = ((x * x).sum(axis=-1, keepdims=True) + 1e-9).sqrt()
+        return x / norm
+
+    a = normalize(view_a)
+    b = normalize(view_b)
+    logits = a @ b.transpose() * (1.0 / temperature)   # (B, B)
+    targets = np.arange(logits.shape[0])
+    # Symmetric InfoNCE (both retrieval directions).
+    return (cross_entropy(logits, targets)
+            + cross_entropy(logits.transpose(), targets)) * 0.5
+
+
+def contrastive_pretrain(model: BertModel, tokenizer: WordPieceTokenizer,
+                         corpus: list[str], steps: int = 100,
+                         batch_size: int = 16, lr: float = 1e-4,
+                         temperature: float = 0.1, seed: int = 0,
+                         ) -> ContrastiveResult:
+    """SimCSE-style tuning of an encoder on unlabeled descriptions.
+
+    The model's dropout provides the two stochastic views, exactly as in
+    SimCSE; the pooled [CLS] vector is the sentence representation.
+    """
+    if not corpus:
+        raise ValueError("empty corpus")
+    rng = np.random.default_rng(seed)
+    cls_id = tokenizer.vocab.token_to_id(CLS_TOKEN)
+    sep_id = tokenizer.vocab.token_to_id(SEP_TOKEN)
+    max_len = model.config.max_position
+
+    sequences = []
+    for text in corpus:
+        ids = tokenizer.encode(text)[: max_len - 2]
+        if ids:
+            sequences.append(np.array([cls_id] + ids + [sep_id], dtype=np.int64))
+    if not sequences:
+        raise ValueError("corpus produced no usable sequences")
+
+    optimizer = Adam(model.parameters(), lr=lr)
+    losses: list[float] = []
+    model.train()
+    for _ in range(steps):
+        picks = rng.integers(0, len(sequences), size=batch_size)
+        chunk = [sequences[i] for i in picks]
+        seq_len = max(len(s) for s in chunk)
+        input_ids = np.zeros((batch_size, seq_len), dtype=np.int64)
+        attention = np.zeros((batch_size, seq_len), dtype=np.float32)
+        for i, seq in enumerate(chunk):
+            input_ids[i, :len(seq)] = seq
+            attention[i, :len(seq)] = 1.0
+
+        # Two dropout-noised views of the same batch.
+        view_a = model(input_ids, attention).pooled
+        view_b = model(input_ids, attention).pooled
+        loss = info_nce_loss(view_a, view_b, temperature=temperature)
+
+        model.zero_grad()
+        loss.backward()
+        clip_grad_norm_(model.parameters(), max_norm=1.0)
+        optimizer.step()
+        losses.append(float(loss.data))
+
+    model.eval()
+    return ContrastiveResult(model=model, losses=losses)

@@ -1,0 +1,38 @@
+"""Input embeddings: token + position + (optional) segment, then LayerNorm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bert.config import BertConfig
+from repro.nn.layers import Dropout, Embedding, LayerNorm
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class BertEmbeddings(Module):
+    """Sum of token, learned-position, and segment embeddings."""
+
+    def __init__(self, config: BertConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.token = Embedding(config.vocab_size, config.hidden_size, rng, padding_idx=0)
+        self.position = Embedding(config.max_position, config.hidden_size, rng)
+        if config.use_segment_embeddings:
+            self.segment = Embedding(config.num_segments, config.hidden_size, rng)
+        else:
+            self.segment = None
+        self.norm = LayerNorm(config.hidden_size, eps=config.layer_norm_eps)
+        self.dropout = Dropout(config.dropout, rng)
+
+    def forward(self, input_ids: np.ndarray, segment_ids: np.ndarray | None = None) -> Tensor:
+        batch, seq = input_ids.shape
+        if seq > self.config.max_position:
+            raise ValueError(
+                f"sequence length {seq} exceeds max_position {self.config.max_position}"
+            )
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        out = self.token(input_ids) + self.position(positions)
+        if self.segment is not None and segment_ids is not None:
+            out = out + self.segment(segment_ids)
+        return self.dropout(self.norm(out))

@@ -1,0 +1,52 @@
+"""Transformer encoder stack (post-norm, as in the original BERT)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bert.attention import MultiHeadSelfAttention
+from repro.bert.config import BertConfig
+from repro.nn import functional as F
+from repro.nn.layers import Dropout, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class TransformerLayer(Module):
+    """Self-attention block + GELU feed-forward block, each with residual."""
+
+    def __init__(self, config: BertConfig, rng: np.random.Generator):
+        super().__init__()
+        self.attention = MultiHeadSelfAttention(config, rng)
+        self.attention_norm = LayerNorm(config.hidden_size, eps=config.layer_norm_eps)
+        self.ffn_in = Linear(config.hidden_size, config.intermediate_size, rng)
+        self.ffn_out = Linear(config.intermediate_size, config.hidden_size, rng)
+        self.ffn_norm = LayerNorm(config.hidden_size, eps=config.layer_norm_eps)
+        self.dropout = Dropout(config.dropout, rng)
+
+    def forward(self, hidden: Tensor, attention_mask: np.ndarray) -> tuple[Tensor, np.ndarray]:
+        attended, probs = self.attention(hidden, attention_mask)
+        hidden = self.attention_norm(hidden + self.dropout(attended))
+        ffn = self.ffn_out(F.gelu(self.ffn_in(hidden)))
+        hidden = self.ffn_norm(hidden + self.dropout(ffn))
+        return hidden, probs
+
+
+class BertEncoder(Module):
+    """A stack of :class:`TransformerLayer`; returns all attention maps."""
+
+    def __init__(self, config: BertConfig, rng: np.random.Generator):
+        super().__init__()
+        self._layers: list[TransformerLayer] = []
+        for i in range(config.num_layers):
+            layer = TransformerLayer(config, rng)
+            setattr(self, f"layer{i}", layer)
+            self._layers.append(layer)
+
+    def forward(self, hidden: Tensor, attention_mask: np.ndarray
+                ) -> tuple[Tensor, list[np.ndarray]]:
+        attentions: list[np.ndarray] = []
+        for layer in self._layers:
+            hidden, probs = layer(hidden, attention_mask)
+            attentions.append(probs)
+        return hidden, attentions

@@ -1,0 +1,70 @@
+"""Masked-language-model head and the BERT masking recipe."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bert.config import BertConfig
+from repro.bert.model import BertModel
+from repro.nn import functional as F
+from repro.nn.layers import LayerNorm, Linear
+from repro.nn.losses import cross_entropy
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+IGNORE_INDEX = -100
+
+
+def mask_tokens(input_ids: np.ndarray, vocab_size: int, mask_id: int,
+                rng: np.random.Generator, special_ids: set[int],
+                mlm_probability: float = 0.15) -> tuple[np.ndarray, np.ndarray]:
+    """Apply BERT's 80/10/10 masking.
+
+    Returns (masked_input_ids, labels) where labels hold the original id
+    at masked positions and :data:`IGNORE_INDEX` elsewhere.
+    """
+    input_ids = input_ids.copy()
+    labels = np.full_like(input_ids, IGNORE_INDEX)
+
+    special = np.isin(input_ids, list(special_ids))
+    candidates = (rng.random(input_ids.shape) < mlm_probability) & ~special
+    labels[candidates] = input_ids[candidates]
+
+    roll = rng.random(input_ids.shape)
+    replace_mask = candidates & (roll < 0.8)
+    replace_random = candidates & (roll >= 0.8) & (roll < 0.9)
+    # Remaining 10% keep the original token.
+    input_ids[replace_mask] = mask_id
+    num_random = int(replace_random.sum())
+    if num_random:
+        input_ids[replace_random] = rng.integers(
+            len(special_ids), vocab_size, size=num_random
+        )
+    return input_ids, labels
+
+
+class BertForMaskedLM(Module):
+    """Encoder plus a tied-free MLM prediction head."""
+
+    def __init__(self, config: BertConfig, rng: np.random.Generator):
+        super().__init__()
+        self.bert = BertModel(config, rng)
+        self.transform = Linear(config.hidden_size, config.hidden_size, rng)
+        self.norm = LayerNorm(config.hidden_size, eps=config.layer_norm_eps)
+        self.decoder = Linear(config.hidden_size, config.vocab_size, rng)
+
+    def forward(self, input_ids: np.ndarray, attention_mask: np.ndarray,
+                segment_ids: np.ndarray | None = None) -> Tensor:
+        out = self.bert(input_ids, attention_mask, segment_ids)
+        hidden = self.norm(F.gelu(self.transform(out.sequence)))
+        return self.decoder(hidden)  # (B, S, V) logits
+
+    def loss(self, logits: Tensor, labels: np.ndarray) -> Tensor | None:
+        """Cross-entropy over masked positions; None when nothing is masked."""
+        mask = labels != IGNORE_INDEX
+        if not mask.any():
+            return None
+        flat_logits = logits.reshape(-1, logits.shape[-1])
+        keep = mask.reshape(-1)
+        picked = flat_logits[np.nonzero(keep)[0]]
+        return cross_entropy(picked, labels.reshape(-1)[keep])

@@ -1,0 +1,48 @@
+"""The full encoder model: embeddings + encoder + pooler.
+
+``BertModel.forward`` returns a :class:`BertOutput` bundling the
+last-layer token representations (EMBA's ``E_e`` matrices), the pooled
+``[CLS]`` vector (what JointBERT and the single-task baselines use), and
+the per-layer attention maps (for Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bert.config import BertConfig
+from repro.bert.embeddings import BertEmbeddings
+from repro.bert.encoder import BertEncoder
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class BertOutput:
+    """Everything downstream heads may need from the encoder."""
+
+    sequence: Tensor            # (B, S, H) last-layer token representations
+    pooled: Tensor              # (B, H) tanh-pooled [CLS]
+    attentions: list[np.ndarray]  # per-layer (B, heads, S, S)
+
+
+class BertModel(Module):
+    """BERT-style encoder over packed sequence pairs."""
+
+    def __init__(self, config: BertConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.embeddings = BertEmbeddings(config, rng)
+        self.encoder = BertEncoder(config, rng)
+        self.pooler = Linear(config.hidden_size, config.hidden_size, rng)
+
+    def forward(self, input_ids: np.ndarray, attention_mask: np.ndarray,
+                segment_ids: np.ndarray | None = None) -> BertOutput:
+        hidden = self.embeddings(input_ids, segment_ids)
+        sequence, attentions = self.encoder(hidden, attention_mask)
+        pooled = F.tanh(self.pooler(sequence[:, 0, :]))
+        return BertOutput(sequence=sequence, pooled=pooled, attentions=attentions)

@@ -1,0 +1,96 @@
+"""MLM pre-training loop for the mini encoders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bert.config import BertConfig
+from repro.bert.mlm import BertForMaskedLM, mask_tokens
+from repro.bert.model import BertModel
+from repro.nn.optim import Adam, clip_grad_norm_
+from repro.nn.schedules import LinearWarmupDecay
+from repro.text.special_tokens import CLS_TOKEN, SEP_TOKEN
+from repro.text.wordpiece import WordPieceTokenizer
+
+
+@dataclass
+class PretrainResult:
+    """Pre-trained encoder plus the loss trajectory for inspection."""
+
+    model: BertModel
+    losses: list[float]
+
+
+def _encode_corpus(corpus: list[str], tokenizer: WordPieceTokenizer,
+                   max_length: int) -> list[np.ndarray]:
+    """Tokenize each text into a [CLS] ... [SEP] id sequence."""
+    cls_id = tokenizer.vocab.token_to_id(CLS_TOKEN)
+    sep_id = tokenizer.vocab.token_to_id(SEP_TOKEN)
+    sequences = []
+    for text in corpus:
+        ids = tokenizer.encode(text)[: max_length - 2]
+        if not ids:
+            continue
+        sequences.append(np.array([cls_id] + ids + [sep_id], dtype=np.int64))
+    if not sequences:
+        raise ValueError("corpus produced no usable sequences")
+    return sequences
+
+
+def pretrain(config: BertConfig, tokenizer: WordPieceTokenizer, corpus: list[str],
+             seed: int = 0, batch_size: int = 16, lr: float = 3e-4,
+             steps: int | None = None) -> PretrainResult:
+    """Pre-train a fresh encoder with masked language modelling.
+
+    Parameters mirror the paper's setup at mini scale: Adam with linear
+    warmup/decay and BERT's 80/10/10 masking at ``config.mlm_probability``.
+    """
+    steps = steps if steps is not None else config.pretrain_steps
+    init_rng = np.random.default_rng(seed)
+    data_rng = np.random.default_rng(seed + 1)
+
+    model = BertForMaskedLM(config, init_rng)
+    optimizer = Adam(model.parameters(), lr=lr)
+    schedule = LinearWarmupDecay(
+        optimizer, peak_lr=lr, warmup_steps=max(steps // 10, 1), total_steps=steps
+    )
+
+    sequences = _encode_corpus(corpus, tokenizer, config.max_position)
+    vocab = tokenizer.vocab
+    special_ids = vocab.special_ids()
+    mask_id = vocab.token_to_id("[MASK]")
+
+    losses: list[float] = []
+    model.train()
+    for _ in range(steps):
+        picks = data_rng.integers(0, len(sequences), size=batch_size)
+        chunk = [sequences[i] for i in picks]
+        max_len = max(len(s) for s in chunk)
+        input_ids = np.zeros((batch_size, max_len), dtype=np.int64)
+        attention = np.zeros((batch_size, max_len), dtype=np.float32)
+        for i, seq in enumerate(chunk):
+            input_ids[i, :len(seq)] = seq
+            attention[i, :len(seq)] = 1.0
+
+        masked, labels = mask_tokens(
+            input_ids, len(vocab), mask_id, data_rng, special_ids,
+            mlm_probability=config.mlm_probability,
+        )
+        # Never predict padding.
+        labels[attention == 0] = -100
+
+        logits = model(masked, attention)
+        loss = model.loss(logits, labels)
+        if loss is None:
+            continue
+        model.zero_grad()
+        loss.backward()
+        clip_grad_norm_(model.parameters(), max_norm=1.0)
+        optimizer.step()
+        schedule.step()
+        losses.append(float(loss.data))
+
+    model.eval()
+    return PretrainResult(model=model.bert, losses=losses)

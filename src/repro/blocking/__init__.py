@@ -1,0 +1,37 @@
+"""repro.blocking — candidate-pair generation for entity matching.
+
+The paper (like DITTO and JointBERT) evaluates on pre-paired candidate
+sets; a deployable EM system also needs the *blocking* stage that
+produces those candidates from two raw record collections.  This package
+provides the three classic blocking families plus quality metrics and an
+end-to-end block→match pipeline:
+
+- :class:`TokenBlocker` — inverted-index token-overlap blocking;
+- :class:`MinHashBlocker` — MinHash/LSH approximate-Jaccard blocking;
+- :class:`SortedNeighborhoodBlocker` — sorted-neighborhood windowing;
+- :func:`evaluate_blocking` — pair completeness (recall) and reduction
+  ratio against gold matches;
+- :class:`MatchingPipeline` — blocking + a trained
+  :class:`~repro.models.base.EMModel` for end-to-end deduplication.
+"""
+
+from repro.blocking.base import (
+    BlockingResult,
+    CandidatePair,
+    evaluate_blocking,
+)
+from repro.blocking.minhash import MinHashBlocker
+from repro.blocking.pipeline import MatchDecision, MatchingPipeline
+from repro.blocking.sorted_neighborhood import SortedNeighborhoodBlocker
+from repro.blocking.token import TokenBlocker
+
+__all__ = [
+    "BlockingResult",
+    "CandidatePair",
+    "MatchDecision",
+    "MatchingPipeline",
+    "MinHashBlocker",
+    "SortedNeighborhoodBlocker",
+    "TokenBlocker",
+    "evaluate_blocking",
+]

@@ -1,0 +1,83 @@
+"""Blocking interfaces and quality metrics.
+
+A blocker consumes two record collections and emits candidate pairs
+(indices into the collections).  Quality is measured the standard way:
+
+- *pair completeness* (recall): fraction of true matches surviving
+  blocking;
+- *reduction ratio*: fraction of the full cross product pruned away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.data.schema import EntityRecord
+
+
+@dataclass(frozen=True)
+class CandidatePair:
+    """Indices of a candidate pair: left collection × right collection."""
+
+    left: int
+    right: int
+
+
+@dataclass
+class BlockingResult:
+    """Candidate set plus the sizes needed for the quality metrics."""
+
+    candidates: list[CandidatePair]
+    num_left: int
+    num_right: int
+
+    @property
+    def comparison_count(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def full_cross_product(self) -> int:
+        return self.num_left * self.num_right
+
+    def candidate_set(self) -> set[tuple[int, int]]:
+        return {(c.left, c.right) for c in self.candidates}
+
+
+class Blocker:
+    """Base class: subclasses implement :meth:`block`."""
+
+    def block(self, left: Sequence[EntityRecord],
+              right: Sequence[EntityRecord]) -> BlockingResult:
+        raise NotImplementedError
+
+    @staticmethod
+    def _result(pairs: Iterable[tuple[int, int]], num_left: int,
+                num_right: int) -> BlockingResult:
+        unique = sorted(set(pairs))
+        return BlockingResult(
+            candidates=[CandidatePair(i, j) for i, j in unique],
+            num_left=num_left,
+            num_right=num_right,
+        )
+
+
+def evaluate_blocking(result: BlockingResult,
+                      gold_matches: Iterable[tuple[int, int]]) -> dict:
+    """Pair completeness and reduction ratio of a blocking result.
+
+    ``gold_matches`` are (left_index, right_index) pairs of true matches.
+    """
+    gold = set(gold_matches)
+    candidates = result.candidate_set()
+    found = len(gold & candidates)
+    completeness = found / len(gold) if gold else 1.0
+    total = result.full_cross_product
+    reduction = 1.0 - result.comparison_count / total if total else 0.0
+    return {
+        "pair_completeness": completeness,
+        "reduction_ratio": reduction,
+        "candidates": result.comparison_count,
+        "gold_matches": len(gold),
+        "matches_found": found,
+    }

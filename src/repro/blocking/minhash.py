@@ -1,0 +1,67 @@
+"""MinHash / LSH blocking for approximate-Jaccard candidate generation.
+
+Each record's token set is summarized by a MinHash signature of
+``num_hashes`` universal-hash minima; signatures are cut into ``bands``
+bands of equal width, and two records become candidates when they
+collide in at least one band.  The usual S-curve applies: pairs with
+Jaccard similarity above roughly ``(1/bands)^(1/rows_per_band)`` are
+likely to collide.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from repro.blocking.base import Blocker, BlockingResult
+from repro.data.schema import EntityRecord
+from repro.text.normalize import basic_tokenize
+from repro.text.subword import fnv1a
+
+_MERSENNE = (1 << 61) - 1
+
+
+class MinHashBlocker(Blocker):
+    """LSH banding over MinHash signatures of record token sets."""
+
+    def __init__(self, num_hashes: int = 48, bands: int = 12, seed: int = 0):
+        if num_hashes % bands != 0:
+            raise ValueError(f"num_hashes {num_hashes} not divisible by bands {bands}")
+        self.num_hashes = num_hashes
+        self.bands = bands
+        self.rows = num_hashes // bands
+        rng = np.random.default_rng(seed)
+        # Universal hashing: h_i(x) = (a_i * x + b_i) mod p.
+        self._a = rng.integers(1, _MERSENNE, size=num_hashes, dtype=np.int64)
+        self._b = rng.integers(0, _MERSENNE, size=num_hashes, dtype=np.int64)
+
+    def signature(self, tokens: set[str]) -> np.ndarray:
+        """MinHash signature (``num_hashes`` minima) of a token set."""
+        if not tokens:
+            return np.full(self.num_hashes, _MERSENNE, dtype=np.int64)
+        values = np.array([fnv1a(t) for t in tokens], dtype=np.int64)
+        # (H, T) matrix of hashed values; min over tokens.
+        hashed = (self._a[:, None] * values[None, :] + self._b[:, None]) % _MERSENNE
+        return hashed.min(axis=1)
+
+    def estimated_jaccard(self, sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+        """Fraction of agreeing minima — an unbiased Jaccard estimate."""
+        return float((sig_a == sig_b).mean())
+
+    def block(self, left: Sequence[EntityRecord],
+              right: Sequence[EntityRecord]) -> BlockingResult:
+        left_sigs = [self.signature(set(basic_tokenize(r.text()))) for r in left]
+        right_sigs = [self.signature(set(basic_tokenize(r.text()))) for r in right]
+
+        pairs: set[tuple[int, int]] = set()
+        for band in range(self.bands):
+            lo, hi = band * self.rows, (band + 1) * self.rows
+            buckets: dict[bytes, list[int]] = defaultdict(list)
+            for j, sig in enumerate(right_sigs):
+                buckets[sig[lo:hi].tobytes()].append(j)
+            for i, sig in enumerate(left_sigs):
+                for j in buckets.get(sig[lo:hi].tobytes(), ()):
+                    pairs.add((i, j))
+        return self._result(pairs, len(left), len(right))

@@ -1,0 +1,70 @@
+"""End-to-end block -> match pipeline.
+
+Combines any :class:`~repro.blocking.base.Blocker` with a trained
+:class:`~repro.models.base.EMModel`: blocking prunes the cross product,
+the matcher scores the surviving candidates, and the pipeline returns
+the predicted match pairs with probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.blocking.base import Blocker
+from repro.data.loader import PairEncoder, collate
+from repro.data.schema import EntityPair, EntityRecord
+from repro.models.base import EMModel
+
+
+@dataclass(frozen=True)
+class MatchDecision:
+    """One scored candidate pair."""
+
+    left: int
+    right: int
+    probability: float
+
+    @property
+    def is_match(self) -> bool:
+        return self.probability >= 0.5
+
+
+class MatchingPipeline:
+    """Blocking + neural matching over two record collections."""
+
+    def __init__(self, blocker: Blocker, model: EMModel, encoder: PairEncoder,
+                 batch_size: int = 32, threshold: float = 0.5):
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.blocker = blocker
+        self.model = model
+        self.encoder = encoder
+        self.batch_size = batch_size
+        self.threshold = threshold
+
+    def match(self, left: Sequence[EntityRecord],
+              right: Sequence[EntityRecord]) -> list[MatchDecision]:
+        """Score every blocking candidate; return decisions sorted by prob."""
+        result = self.blocker.block(left, right)
+        decisions: list[MatchDecision] = []
+        candidates = result.candidates
+        for start in range(0, len(candidates), self.batch_size):
+            chunk = candidates[start:start + self.batch_size]
+            encoded = [
+                self.encoder.encode(EntityPair(left[c.left], right[c.right], 0))
+                for c in chunk
+            ]
+            probs = self.model.predict(collate(encoded))["em_prob"]
+            decisions.extend(
+                MatchDecision(c.left, c.right, float(p))
+                for c, p in zip(chunk, probs)
+            )
+        decisions.sort(key=lambda d: d.probability, reverse=True)
+        return decisions
+
+    def matches(self, left: Sequence[EntityRecord],
+                right: Sequence[EntityRecord]) -> list[MatchDecision]:
+        """Only the decisions at or above the match threshold."""
+        return [d for d in self.match(left, right)
+                if d.probability >= self.threshold]

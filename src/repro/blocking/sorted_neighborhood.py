@@ -1,0 +1,53 @@
+"""Sorted-neighborhood blocking.
+
+Both collections are merged, sorted by a blocking key (default: the
+record's alphabetically smallest rare-ish token sequence — here simply
+the normalized text), and a window of size ``window`` slides over the
+sorted order; cross-collection pairs inside a window become candidates.
+Multiple passes with different key functions can be combined by a
+caller union-ing the results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.blocking.base import Blocker, BlockingResult
+from repro.data.schema import EntityRecord
+from repro.text.normalize import normalize_text
+
+
+def default_key(record: EntityRecord) -> str:
+    """Default blocking key: the normalized description text."""
+    return normalize_text(record.text())
+
+
+class SortedNeighborhoodBlocker(Blocker):
+    """Classic sorted-neighborhood method over the merged collections."""
+
+    def __init__(self, window: int = 5,
+                 key: Callable[[EntityRecord], str] = default_key):
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.window = window
+        self.key = key
+
+    def block(self, left: Sequence[EntityRecord],
+              right: Sequence[EntityRecord]) -> BlockingResult:
+        tagged = (
+            [(self.key(r), 0, i) for i, r in enumerate(left)]
+            + [(self.key(r), 1, j) for j, r in enumerate(right)]
+        )
+        tagged.sort()
+
+        pairs: set[tuple[int, int]] = set()
+        for pos, (_, side, idx) in enumerate(tagged):
+            for other_pos in range(pos + 1, min(pos + self.window, len(tagged))):
+                _, other_side, other_idx = tagged[other_pos]
+                if side == other_side:
+                    continue
+                if side == 0:
+                    pairs.add((idx, other_idx))
+                else:
+                    pairs.add((other_idx, idx))
+        return self._result(pairs, len(left), len(right))

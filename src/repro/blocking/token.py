@@ -1,0 +1,68 @@
+"""Token-overlap blocking with an inverted index.
+
+Two records become a candidate pair when they share at least
+``min_common`` (sufficiently rare) tokens.  Tokens appearing in more
+than ``max_token_frequency`` of one side's records are treated as stop
+words — shared filler like "retail" would otherwise pull in nearly the
+full cross product.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Sequence
+
+from repro.blocking.base import Blocker, BlockingResult
+from repro.data.schema import EntityRecord
+from repro.text.normalize import basic_tokenize
+
+
+class TokenBlocker(Blocker):
+    """Inverted-index blocking on shared informative tokens."""
+
+    def __init__(self, min_common: int = 1, max_token_frequency: float = 0.2,
+                 min_token_length: int = 2):
+        if min_common < 1:
+            raise ValueError("min_common must be >= 1")
+        if not 0.0 < max_token_frequency <= 1.0:
+            raise ValueError("max_token_frequency must be in (0, 1]")
+        self.min_common = min_common
+        self.max_token_frequency = max_token_frequency
+        self.min_token_length = min_token_length
+
+    def _tokens(self, record: EntityRecord) -> set[str]:
+        return {t for t in basic_tokenize(record.text())
+                if len(t) >= self.min_token_length}
+
+    def block(self, left: Sequence[EntityRecord],
+              right: Sequence[EntityRecord]) -> BlockingResult:
+        left_tokens = [self._tokens(r) for r in left]
+        right_tokens = [self._tokens(r) for r in right]
+
+        # Stop words: tokens too frequent on either side.
+        def frequent(token_sets: list[set[str]]) -> set[str]:
+            if not token_sets:
+                return set()
+            counts = Counter(t for tokens in token_sets for t in tokens)
+            # Never filter tokens that appear only once: on tiny
+            # collections the relative limit would otherwise stop
+            # everything.
+            limit = max(self.max_token_frequency * len(token_sets), 1.0)
+            return {t for t, c in counts.items() if c > limit}
+
+        stop = frequent(left_tokens) | frequent(right_tokens)
+
+        index: dict[str, list[int]] = defaultdict(list)
+        for j, tokens in enumerate(right_tokens):
+            for token in tokens - stop:
+                index[token].append(j)
+
+        overlap: dict[tuple[int, int], int] = defaultdict(int)
+        for i, tokens in enumerate(left_tokens):
+            for token in tokens - stop:
+                for j in index.get(token, ()):
+                    overlap[(i, j)] += 1
+
+        pairs = [pair for pair, count in overlap.items()
+                 if count >= self.min_common]
+        return self._result(pairs, len(left), len(right))

@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``datasets``                 list the benchmark configurations (Table 1)
+- ``run --dataset D --model M``  train + evaluate one configuration
+- ``table N``                  regenerate one of the paper's tables (1-7)
+- ``figure N``                 regenerate Figure 5 or 6
+- ``casestudy``                print the Section 4.7 case-study pair
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_datasets(args) -> int:
+    from repro.experiments.tables import table1
+
+    print(table1().rendered)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments.config import PROFILES, spec_for
+    from repro.experiments.runner import run_experiment
+
+    profile = PROFILES[args.profile]
+    spec = spec_for(args.dataset, args.size, args.model, args.seed, profile)
+    metrics = run_experiment(spec, use_cache=not args.no_cache)
+    print(f"{args.model} on {args.dataset}/{args.size} (seed {args.seed})")
+    print(f"  EM F1        = {100 * metrics['em_f1']:.2f}")
+    print(f"  precision    = {100 * metrics['em_precision']:.2f}")
+    print(f"  recall       = {100 * metrics['em_recall']:.2f}")
+    if "acc1" in metrics:
+        print(f"  ID acc1/acc2 = {100 * metrics['acc1']:.2f} / {100 * metrics['acc2']:.2f}")
+        print(f"  ID micro-F1  = {100 * metrics['id_micro_f1']:.2f}")
+    print(f"  epochs run   = {metrics['epochs_run']}"
+          f"  ({metrics['train_seconds']:.1f}s)")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.experiments import tables
+
+    fn = getattr(tables, f"table{args.number}", None)
+    if fn is None:
+        print(f"no such table: {args.number}", file=sys.stderr)
+        return 2
+    result = fn(progress=True) if args.number != 1 else fn()
+    print(result.rendered)
+    if args.save:
+        print(f"saved to {result.save(args.save)}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments import figures
+
+    fn = getattr(figures, f"figure{args.number}", None)
+    if fn is None:
+        print(f"no such figure: {args.number}", file=sys.stderr)
+        return 2
+    result = fn()
+    print(result.rendered)
+    if args.save:
+        print(f"saved to {result.save(args.save)}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.data.analysis import profile_dataset
+    from repro.data.registry import load_dataset
+
+    dataset = load_dataset(args.dataset, size=args.size)
+    profile = profile_dataset(dataset.train)
+    print(f"profile of {args.dataset}/{args.size} (train split)")
+    print(f"  pairs                     = {profile['num_pairs']}")
+    print(f"  match token-jaccard mean  = {profile['match_jaccard_mean']:.3f}")
+    print(f"  nonmatch token-jaccard    = {profile['nonmatch_jaccard_mean']:.3f}")
+    print(f"  separation                = {profile['jaccard_separation']:.3f}")
+    print(f"  source vocabulary overlap = {profile['source_vocabulary_overlap']:.3f}")
+    print("  attribute fill rates:")
+    for name, rate in sorted(profile["fill_rates"].items()):
+        print(f"    {name:<20} {rate:.2f}")
+    return 0
+
+
+def _cmd_casestudy(args) -> int:
+    from repro.experiments.casestudy import case_study_pair
+
+    pair = case_study_pair()
+    print("entity 1:", pair.record1.text())
+    print("entity 2:", pair.record2.text())
+    print("ground truth: non-match")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EMBA (EDBT 2024) reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list benchmark datasets (Table 1)"
+                   ).set_defaults(fn=_cmd_datasets)
+
+    run = sub.add_parser("run", help="train and evaluate one configuration")
+    run.add_argument("--dataset", required=True)
+    run.add_argument("--model", default="emba")
+    run.add_argument("--size", default="default")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--profile", default="quick")
+    run.add_argument("--no-cache", action="store_true")
+    run.set_defaults(fn=_cmd_run)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=range(1, 8))
+    table.add_argument("--save", default="")
+    table.set_defaults(fn=_cmd_table)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=(5, 6))
+    figure.add_argument("--save", default="")
+    figure.set_defaults(fn=_cmd_figure)
+
+    profile = sub.add_parser("profile", help="profile a dataset's pairs")
+    profile.add_argument("--dataset", required=True)
+    profile.add_argument("--size", default="default")
+    profile.set_defaults(fn=_cmd_profile)
+
+    sub.add_parser("casestudy", help="print the Sec. 4.7 case-study pair"
+                   ).set_defaults(fn=_cmd_casestudy)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""Dataset profiling utilities.
+
+EM practitioners profile candidate sets before modelling: attribute
+fill rates (how often each attribute is non-empty), the token-overlap
+(Jaccard) distributions of matching vs non-matching pairs — whose
+separation bounds how well *any* token-based matcher can do — and the
+vocabulary overlap between the two sources (schema/value heterogeneity).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.schema import EntityPair
+from repro.text.normalize import basic_tokenize
+
+
+@dataclass
+class OverlapProfile:
+    """Token-Jaccard statistics of match vs non-match pairs."""
+
+    match_mean: float
+    match_std: float
+    nonmatch_mean: float
+    nonmatch_std: float
+
+    @property
+    def separation(self) -> float:
+        """Gap between the class means (higher = easier dataset)."""
+        return self.match_mean - self.nonmatch_mean
+
+
+def attribute_fill_rates(pairs: Sequence[EntityPair]) -> dict[str, float]:
+    """Fraction of records (both sides pooled) with a non-empty value
+    per attribute name."""
+    counts: dict[str, int] = defaultdict(int)
+    filled: dict[str, int] = defaultdict(int)
+    for pair in pairs:
+        for record in (pair.record1, pair.record2):
+            for name, value in record.attributes:
+                counts[name] += 1
+                if value:
+                    filled[name] += 1
+    return {name: filled[name] / counts[name] for name in counts}
+
+
+def token_jaccard(text_a: str, text_b: str) -> float:
+    """Jaccard similarity of the two texts' token sets."""
+    tokens_a = set(basic_tokenize(text_a))
+    tokens_b = set(basic_tokenize(text_b))
+    union = tokens_a | tokens_b
+    if not union:
+        return 0.0
+    return len(tokens_a & tokens_b) / len(union)
+
+
+def overlap_profile(pairs: Sequence[EntityPair]) -> OverlapProfile:
+    """Per-class token-Jaccard means/stds across a pair collection."""
+    match_scores, nonmatch_scores = [], []
+    for pair in pairs:
+        score = token_jaccard(pair.record1.text(), pair.record2.text())
+        (match_scores if pair.label == 1 else nonmatch_scores).append(score)
+
+    def stats(values: list[float]) -> tuple[float, float]:
+        if not values:
+            return 0.0, 0.0
+        arr = np.asarray(values)
+        return float(arr.mean()), float(arr.std())
+
+    m_mean, m_std = stats(match_scores)
+    n_mean, n_std = stats(nonmatch_scores)
+    return OverlapProfile(match_mean=m_mean, match_std=m_std,
+                          nonmatch_mean=n_mean, nonmatch_std=n_std)
+
+
+def source_vocabulary_overlap(pairs: Sequence[EntityPair]) -> float:
+    """Jaccard overlap between the two sources' full vocabularies.
+
+    Low overlap signals schema/value heterogeneity (abt-buy-style);
+    high overlap signals near-duplicate sources (WDC-style).
+    """
+    vocab: dict[str, Counter] = defaultdict(Counter)
+    for pair in pairs:
+        for record, side in ((pair.record1, 0), (pair.record2, 1)):
+            vocab[f"side{side}"].update(basic_tokenize(record.text()))
+    left = set(vocab["side0"])
+    right = set(vocab["side1"])
+    union = left | right
+    if not union:
+        return 0.0
+    return len(left & right) / len(union)
+
+
+def profile_dataset(pairs: Sequence[EntityPair]) -> dict:
+    """One-call profile: fill rates, overlap stats, source vocabulary."""
+    profile = overlap_profile(pairs)
+    return {
+        "fill_rates": attribute_fill_rates(pairs),
+        "match_jaccard_mean": profile.match_mean,
+        "nonmatch_jaccard_mean": profile.nonmatch_mean,
+        "jaccard_separation": profile.separation,
+        "source_vocabulary_overlap": source_vocabulary_overlap(pairs),
+        "num_pairs": len(pairs),
+    }

@@ -1,0 +1,101 @@
+"""CSV import/export for EM datasets.
+
+Real deployments keep candidate pairs in flat files (the
+DeepMatcher/Magellan CSV convention: ``left_*`` / ``right_*`` attribute
+columns plus a ``label`` column).  These helpers write an
+:class:`~repro.data.schema.EMDataset` to that layout and read it back,
+so externally-produced benchmarks can run through the library unchanged.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.data.schema import EMDataset, EntityPair, EntityRecord
+
+_META_COLUMNS = ("label", "left_entity_id", "right_entity_id",
+                 "left_source", "right_source")
+
+
+def _attribute_names(pairs: list[EntityPair]) -> tuple[list[str], list[str]]:
+    left: list[str] = []
+    right: list[str] = []
+    for pair in pairs:
+        for name, _ in pair.record1.attributes:
+            if name not in left:
+                left.append(name)
+        for name, _ in pair.record2.attributes:
+            if name not in right:
+                right.append(name)
+    return left, right
+
+
+def save_pairs_csv(pairs: list[EntityPair], path: str | Path) -> None:
+    """Write labeled pairs as ``left_*``/``right_*`` columns plus label."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    left_attrs, right_attrs = _attribute_names(pairs)
+    header = (list(_META_COLUMNS)
+              + [f"left_{a}" for a in left_attrs]
+              + [f"right_{a}" for a in right_attrs])
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for pair in pairs:
+            d1 = pair.record1.attribute_dict()
+            d2 = pair.record2.attribute_dict()
+            writer.writerow(
+                [pair.label,
+                 pair.record1.entity_id or "", pair.record2.entity_id or "",
+                 pair.record1.source, pair.record2.source]
+                + [d1.get(a, "") for a in left_attrs]
+                + [d2.get(a, "") for a in right_attrs]
+            )
+
+
+def load_pairs_csv(path: str | Path) -> list[EntityPair]:
+    """Inverse of :func:`save_pairs_csv`."""
+    path = Path(path)
+    pairs: list[EntityPair] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or "label" not in reader.fieldnames:
+            raise ValueError(f"{path} is not a pairs CSV (missing 'label' column)")
+        left_attrs = [c.removeprefix("left_") for c in reader.fieldnames
+                      if c.startswith("left_") and c not in _META_COLUMNS]
+        right_attrs = [c.removeprefix("right_") for c in reader.fieldnames
+                       if c.startswith("right_") and c not in _META_COLUMNS]
+        for row in reader:
+            record1 = EntityRecord.from_dict(
+                {a: row[f"left_{a}"] for a in left_attrs},
+                entity_id=row["left_entity_id"] or None,
+                source=row["left_source"],
+            )
+            record2 = EntityRecord.from_dict(
+                {a: row[f"right_{a}"] for a in right_attrs},
+                entity_id=row["right_entity_id"] or None,
+                source=row["right_source"],
+            )
+            pairs.append(EntityPair(record1, record2, int(row["label"])))
+    return pairs
+
+
+def save_dataset_csv(dataset: EMDataset, directory: str | Path) -> None:
+    """Write train/valid/test splits as three CSV files in ``directory``."""
+    directory = Path(directory)
+    for split in ("train", "valid", "test"):
+        save_pairs_csv(getattr(dataset, split), directory / f"{split}.csv")
+
+
+def load_dataset_csv(name: str, directory: str | Path) -> EMDataset:
+    """Read a dataset written by :func:`save_dataset_csv`."""
+    directory = Path(directory)
+    dataset = EMDataset(
+        name=name,
+        train=load_pairs_csv(directory / "train.csv"),
+        valid=load_pairs_csv(directory / "valid.csv"),
+        test=load_pairs_csv(directory / "test.csv"),
+    )
+    dataset.id_classes = EMDataset.build_id_classes(dataset.all_pairs())
+    return dataset

@@ -1,0 +1,32 @@
+"""Synthetic benchmark-dataset generators.
+
+Each generator reproduces the *structure* of one of the paper's dataset
+families: attribute schemas, entity-ID class spaces and their imbalance
+(LRID), the number of offers per entity, the hard-negative regime
+(matches decided by small token subsets such as brand + model number
+amid large shared context), and the paper's positive/negative pair
+ratios scaled down to CPU-trainable sizes.
+"""
+
+from repro.data.generators.magellan import (
+    generate_baby_products,
+    generate_bikes,
+    generate_books,
+)
+from repro.data.generators.structured import (
+    generate_abt_buy,
+    generate_companies,
+    generate_dblp_scholar,
+)
+from repro.data.generators.wdc import WDC_CATEGORIES, generate_wdc
+
+__all__ = [
+    "WDC_CATEGORIES",
+    "generate_abt_buy",
+    "generate_baby_products",
+    "generate_bikes",
+    "generate_books",
+    "generate_companies",
+    "generate_dblp_scholar",
+    "generate_wdc",
+]

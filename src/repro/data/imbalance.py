@@ -1,0 +1,76 @@
+"""Class-imbalance measurement and manipulation.
+
+Implements the likelihood-ratio imbalance degree (LRID) from Zhu et al.
+2018 used in the paper's Table 1, and the positive-pair subsampling that
+builds the Table 6 imbalanced variants of WDC computers xlarge.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.data.schema import EntityPair
+
+
+def lrid(class_counts: Iterable[int]) -> float:
+    """Likelihood-ratio imbalance degree.
+
+    ``LRID = -2 * sum_c n_c * ln(N / (C * n_c))`` — zero for perfectly
+    balanced classes, growing with imbalance.  Matches the paper's Eq. in
+    Sec. 4.1.4 up to their normalization: the raw statistic grows with N,
+    so (as the paper's Table 1 values imply) we report it per thousand
+    observations to keep datasets of different sizes comparable.
+    """
+    counts = [c for c in class_counts if c > 0]
+    if not counts:
+        return 0.0
+    total = sum(counts)
+    num_classes = len(counts)
+    stat = -2.0 * sum(
+        n * math.log(total / (num_classes * n)) for n in counts
+    )
+    return stat / 1000.0
+
+
+def entity_id_lrid(pairs: Sequence[EntityPair]) -> float:
+    """LRID of the entity-ID label distribution across both records."""
+    counts = Counter(
+        r.entity_id for p in pairs for r in (p.record1, p.record2)
+        if r.entity_id is not None
+    )
+    return lrid(counts.values())
+
+
+def subsample_positives(pairs: Sequence[EntityPair], num_positives: int,
+                        rng: np.random.Generator) -> list[EntityPair]:
+    """Keep only ``num_positives`` positive pairs (negatives untouched).
+
+    Reproduces the Table 6 protocol: the paper subsamples WDC computers
+    xlarge positives from 9690 down to 6146 / 1762 / 722 while leaving the
+    negative pairs unchanged, producing pos/neg ratios of roughly
+    0.104 / 0.030 / 0.012.
+    """
+    positives = [p for p in pairs if p.label == 1]
+    negatives = [p for p in pairs if p.label == 0]
+    if num_positives > len(positives):
+        raise ValueError(
+            f"requested {num_positives} positives but only {len(positives)} available"
+        )
+    picked_idx = rng.choice(len(positives), size=num_positives, replace=False)
+    picked = [positives[i] for i in sorted(picked_idx)]
+    combined = picked + negatives
+    order = rng.permutation(len(combined))
+    return [combined[i] for i in order]
+
+
+def positive_negative_ratio(pairs: Sequence[EntityPair]) -> float:
+    """Positive / negative pair count ratio (Table 6's row key)."""
+    positives = sum(p.label for p in pairs)
+    negatives = len(pairs) - positives
+    if negatives == 0:
+        return math.inf
+    return positives / negatives

@@ -1,0 +1,87 @@
+"""Dataset registry: name-based access to all 22 benchmark configurations.
+
+``load_dataset("wdc_computers", size="medium")`` mirrors the paper's
+dataset grid; the six non-WDC names take no size.  Loaded datasets are
+memoized per (name, size, seed) because generation involves transitive
+closure and deduplicated pair sampling.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from collections import Counter
+
+from repro.data.generators.magellan import (
+    generate_baby_products,
+    generate_bikes,
+    generate_books,
+)
+from repro.data.generators.structured import (
+    generate_abt_buy,
+    generate_companies,
+    generate_dblp_scholar,
+)
+from repro.data.generators.wdc import WDC_CATEGORIES, WDC_SIZES, generate_wdc
+from repro.data.imbalance import entity_id_lrid
+from repro.data.schema import EMDataset
+
+DATASET_NAMES = tuple(
+    [f"wdc_{c}" for c in WDC_CATEGORIES]
+    + ["abt_buy", "dblp_scholar", "companies", "baby_products", "bikes", "books"]
+)
+
+_FLAT_GENERATORS = {
+    "abt_buy": generate_abt_buy,
+    "dblp_scholar": generate_dblp_scholar,
+    "companies": generate_companies,
+    "baby_products": generate_baby_products,
+    "bikes": generate_bikes,
+    "books": generate_books,
+}
+
+
+@lru_cache(maxsize=64)
+def load_dataset(name: str, size: str = "default", seed: int = 0) -> EMDataset:
+    """Load (generate) a benchmark dataset by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASET_NAMES`.
+    size:
+        For WDC datasets, one of ``small/medium/large/xlarge``; the other
+        datasets only accept ``"default"``.
+    seed:
+        Generation seed (datasets with different seeds are disjoint
+        samples from the same synthetic world).
+    """
+    if name.startswith("wdc_"):
+        category = name.removeprefix("wdc_")
+        if size == "default":
+            size = "medium"
+        return generate_wdc(category, size=size, seed=seed)
+    if name in _FLAT_GENERATORS:
+        if size != "default":
+            raise ValueError(f"dataset {name!r} has no size variants (got {size!r})")
+        return _FLAT_GENERATORS[name](seed=seed)
+    raise KeyError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")
+
+
+def dataset_summary(dataset: EMDataset) -> dict:
+    """Table 1 row: pair counts, LRID, class count, test-set size."""
+    pos, neg = dataset.positive_negative_counts("train")
+    id_counts = Counter(
+        r.entity_id for p in dataset.all_pairs() for r in (p.record1, p.record2)
+        if r.entity_id is not None
+    )
+    return {
+        "dataset": dataset.name,
+        "pos_pairs": pos,
+        "neg_pairs": neg,
+        "lrid": entity_id_lrid(dataset.all_pairs()),
+        "num_classes": len(id_counts),
+        "test_size": len(dataset.test),
+    }
+
+
+__all__ = ["DATASET_NAMES", "WDC_SIZES", "dataset_summary", "load_dataset"]

@@ -1,0 +1,100 @@
+"""Core data types: entity records, labeled pairs, and datasets.
+
+Records follow the paper's problem definition (Sec. 3.1): a record has a
+description made of attribute values and a user-specified *entity ID*
+(the auxiliary multi-class label — a product cluster, venue, category,
+etc.).  The two records of a pair are *not* required to share a schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EntityRecord:
+    """One entity description.
+
+    Attributes
+    ----------
+    attributes:
+        Ordered attribute name -> value mapping (the description
+        ``D_e = {D_e^1 ... D_e^m}``).
+    entity_id:
+        The auxiliary-task class label (``ID_e``), e.g. the product
+        cluster, venue, brand, or publisher.  ``None`` when unlabeled.
+    source:
+        Which of the two data sources the record came from.
+    """
+
+    attributes: tuple[tuple[str, str], ...]
+    entity_id: str | None = None
+    source: str = ""
+
+    @classmethod
+    def from_dict(cls, attributes: dict[str, str], entity_id: str | None = None,
+                  source: str = "") -> "EntityRecord":
+        return cls(tuple(attributes.items()), entity_id=entity_id, source=source)
+
+    def attribute_dict(self) -> dict[str, str]:
+        return dict(self.attributes)
+
+    def text(self) -> str:
+        """The concatenated attribute values (the paper's plain input)."""
+        return " ".join(v for _, v in self.attributes if v)
+
+
+@dataclass(frozen=True)
+class EntityPair:
+    """A labeled candidate pair for the main EM binary task."""
+
+    record1: EntityRecord
+    record2: EntityRecord
+    label: int  # 1 = match, 0 = non-match
+
+    def __post_init__(self):
+        if self.label not in (0, 1):
+            raise ValueError(f"pair label must be 0 or 1, got {self.label}")
+
+
+@dataclass
+class EMDataset:
+    """A benchmark dataset: split pairs plus the entity-ID class space.
+
+    ``id_classes`` maps every entity-ID string appearing in the data to a
+    contiguous class index used by the auxiliary softmax heads.
+    """
+
+    name: str
+    train: list[EntityPair]
+    valid: list[EntityPair]
+    test: list[EntityPair]
+    id_classes: dict[str, int] = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_id_classes(self) -> int:
+        return len(self.id_classes)
+
+    def id_index(self, entity_id: str | None) -> int:
+        """Class index for an entity-ID label (unknown labels map to 0)."""
+        if entity_id is None:
+            return 0
+        return self.id_classes.get(entity_id, 0)
+
+    def all_pairs(self) -> list[EntityPair]:
+        return self.train + self.valid + self.test
+
+    def positive_negative_counts(self, split: str = "train") -> tuple[int, int]:
+        pairs = getattr(self, split)
+        positives = sum(p.label for p in pairs)
+        return positives, len(pairs) - positives
+
+    @staticmethod
+    def build_id_classes(pairs: list[EntityPair]) -> dict[str, int]:
+        """Contiguous class indices over every entity-ID seen in ``pairs``."""
+        labels = sorted(
+            {r.entity_id for p in pairs for r in (p.record1, p.record2)
+             if r.entity_id is not None}
+        )
+        return {label: i for i, label in enumerate(labels)}

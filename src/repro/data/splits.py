@@ -1,0 +1,41 @@
+"""Train/valid/test splitting with label stratification."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.schema import EntityPair
+
+
+def train_valid_test_split(pairs: Sequence[EntityPair], rng: np.random.Generator,
+                           valid_fraction: float = 0.15,
+                           test_fraction: float = 0.15,
+                           ) -> tuple[list[EntityPair], list[EntityPair], list[EntityPair]]:
+    """Stratified split preserving the positive/negative ratio per split.
+
+    The benchmark datasets the paper uses ship pre-split; our generators
+    call this to produce the same non-overlapping structure.
+    """
+    if valid_fraction + test_fraction >= 1.0:
+        raise ValueError("valid_fraction + test_fraction must be < 1")
+    train: list[EntityPair] = []
+    valid: list[EntityPair] = []
+    test: list[EntityPair] = []
+    for label in (1, 0):
+        group = [p for p in pairs if p.label == label]
+        order = rng.permutation(len(group))
+        n_test = max(int(round(len(group) * test_fraction)), 1 if group else 0)
+        n_valid = max(int(round(len(group) * valid_fraction)), 1 if group else 0)
+        for rank, idx in enumerate(order):
+            if rank < n_test:
+                test.append(group[idx])
+            elif rank < n_test + n_valid:
+                valid.append(group[idx])
+            else:
+                train.append(group[idx])
+    for split in (train, valid, test):
+        order = rng.permutation(len(split))
+        split[:] = [split[i] for i in order]
+    return train, valid, test

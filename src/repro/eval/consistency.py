@@ -1,0 +1,68 @@
+"""EM-vs-entity-ID prediction consistency (the paper's Figure 1b).
+
+The paper motivates EMBA with an example where JointBERT predicts the
+*same* entity ID for both records yet the pair is a non-match — the
+auxiliary and main heads contradict each other.  A multi-task matcher is
+internally consistent when "predicted match" co-occurs with "same
+predicted entity ID".  These utilities quantify that agreement for any
+multi-task model's predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ConsistencyReport:
+    """Agreement statistics between the EM head and the ID heads."""
+
+    agreement_rate: float        # fraction of pairs where heads agree
+    match_but_different_ids: int  # EM says match, IDs differ (Fig. 1b's EMBA case)
+    nonmatch_but_same_ids: int    # EM says non-match, IDs equal
+    total: int
+
+    @property
+    def contradictions(self) -> int:
+        return self.match_but_different_ids + self.nonmatch_but_same_ids
+
+
+def consistency_report(em_pred: np.ndarray, id1_pred: np.ndarray,
+                       id2_pred: np.ndarray) -> ConsistencyReport:
+    """Agreement between binary match predictions and ID-equality.
+
+    All arrays are per-pair predictions of equal length (as produced by
+    :meth:`repro.models.trainer.Trainer.predict_all`).
+    """
+    em_pred = np.asarray(em_pred).astype(bool)
+    same_id = np.asarray(id1_pred) == np.asarray(id2_pred)
+    if em_pred.shape != same_id.shape:
+        raise ValueError(
+            f"shape mismatch: {em_pred.shape} vs {same_id.shape}"
+        )
+    total = len(em_pred)
+    if total == 0:
+        return ConsistencyReport(1.0, 0, 0, 0)
+    agree = em_pred == same_id
+    return ConsistencyReport(
+        agreement_rate=float(agree.mean()),
+        match_but_different_ids=int((em_pred & ~same_id).sum()),
+        nonmatch_but_same_ids=int((~em_pred & same_id).sum()),
+        total=total,
+    )
+
+
+def id_equality_as_matcher_f1(labels: np.ndarray, id1_pred: np.ndarray,
+                              id2_pred: np.ndarray) -> float:
+    """F1 of using *ID equality alone* as the match decision.
+
+    If the auxiliary heads were perfect, this would equal 1.0 — it
+    measures how much matching signal the auxiliary task alone carries
+    (high for EMBA, low for JointBERT per the paper's Table 3).
+    """
+    from repro.eval.metrics import binary_f1
+
+    same_id = (np.asarray(id1_pred) == np.asarray(id2_pred)).astype(int)
+    return binary_f1(np.asarray(labels).astype(int), same_id)

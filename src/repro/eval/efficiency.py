@@ -1,0 +1,38 @@
+"""Throughput measurement (pairs per second) for Table 7."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass
+class ThroughputResult:
+    """Items processed per second, with the raw counters."""
+
+    items: int
+    seconds: float
+
+    @property
+    def items_per_second(self) -> float:
+        if self.seconds <= 0:
+            return float("inf")
+        return self.items / self.seconds
+
+
+def measure_throughput(step: Callable[[], int], min_seconds: float = 0.5,
+                       min_items: int = 32) -> ThroughputResult:
+    """Run ``step`` (returning the number of items it processed) until
+    both thresholds are met, then report the aggregate rate.
+
+    A single warm-up call is excluded from timing.
+    """
+    step()  # warm-up
+    items = 0
+    start = time.perf_counter()
+    while True:
+        items += step()
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds and items >= min_items:
+            return ThroughputResult(items=items, seconds=elapsed)

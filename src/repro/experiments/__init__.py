@@ -1,0 +1,27 @@
+"""repro.experiments — the harness regenerating every table and figure.
+
+``tables.table1()`` … ``tables.table7()`` and ``figures.figure5()`` /
+``figures.figure6()`` each return a rendered report plus the underlying
+rows; the ``benchmarks/`` directory wraps them with pytest-benchmark.
+Completed runs are cached on disk keyed by their spec digest, so
+re-rendering a table after the first run is cheap.
+"""
+
+from repro.experiments.config import (
+    MODEL_SPECS,
+    PROFILES,
+    RunSpec,
+    TABLE2_MODELS,
+    active_profile,
+)
+from repro.experiments.runner import run_experiment, run_many
+
+__all__ = [
+    "MODEL_SPECS",
+    "PROFILES",
+    "RunSpec",
+    "TABLE2_MODELS",
+    "active_profile",
+    "run_experiment",
+    "run_many",
+]

@@ -1,0 +1,27 @@
+"""The paper's Section 4.7 case study pair.
+
+Two CompactFlash-card offers that share most attribute values (4gb, 50p,
+cf, compactflash, card, retail) but have different brands and model
+numbers — a non-match that [CLS]-based models are prone to call a match
+because the shared context drowns out the small discriminative subset.
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import EntityPair, EntityRecord
+
+ENTITY1_TEXT = ("sandisk sdcfh-004g-a11 dfm 4gb 50p cf compactflash card "
+                "ultra 30mb/s 100x retail")
+ENTITY2_TEXT = ("transcend ts4gcf300 bri 4gb 50p cf compactflash card "
+                "300x retail")
+
+
+def case_study_pair() -> EntityPair:
+    """The SanDisk-vs-Transcend non-match from Figure 5."""
+    return EntityPair(
+        EntityRecord.from_dict({"title": ENTITY1_TEXT}, entity_id=None,
+                               source="shop-a"),
+        EntityRecord.from_dict({"title": ENTITY2_TEXT}, entity_id=None,
+                               source="shop-b"),
+        0,
+    )

@@ -1,0 +1,79 @@
+"""Reproduction report assembly.
+
+Collects every table/figure rendering saved under ``results/`` plus the
+run-cache statistics into one markdown report — the artifact a
+reproduction study actually ships.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.bert.cache import cache_dir
+
+_SECTION_ORDER = (
+    "table1_datasets", "table2_em_f1", "table3_entity_id",
+    "table4_ablation_em", "table5_ablation_id", "table6_imbalance",
+    "table7_efficiency", "figure5_lime", "figure6_attention",
+    "ext_padding_aoa", "ext_serialization", "ext_blocking",
+)
+
+
+def run_cache_summary() -> dict:
+    """Aggregate statistics over all cached experiment runs."""
+    results = cache_dir() / "results"
+    runs = []
+    if results.exists():
+        for path in results.glob("*.json"):
+            runs.append(json.loads(path.read_text(encoding="utf-8")))
+    models = Counter(r.get("spec_model", "?") for r in runs)
+    datasets = Counter(r.get("spec_dataset", "?") for r in runs)
+    total_seconds = sum(r.get("train_seconds", 0.0) for r in runs)
+    return {
+        "num_runs": len(runs),
+        "models": dict(models),
+        "datasets": dict(datasets),
+        "total_train_seconds": total_seconds,
+    }
+
+
+def build_report(results_dir: str | Path = "results") -> str:
+    """Assemble the markdown report from saved renderings."""
+    results_dir = Path(results_dir)
+    sections = ["# Reproduction report", ""]
+
+    summary = run_cache_summary()
+    sections += [
+        f"- cached experiment runs: **{summary['num_runs']}** "
+        f"({summary['total_train_seconds'] / 60:.1f} minutes of training)",
+        f"- models covered: {len(summary['models'])}",
+        f"- dataset configurations covered: {len(summary['datasets'])}",
+        "",
+    ]
+
+    for name in _SECTION_ORDER:
+        path = results_dir / f"{name}.txt"
+        if not path.exists():
+            continue
+        sections += [f"## {name}", "", "```",
+                     path.read_text(encoding="utf-8").rstrip(), "```", ""]
+
+    extras = sorted(
+        p for p in results_dir.glob("*.txt")
+        if p.stem not in _SECTION_ORDER and not p.name.endswith("_log.txt")
+    )
+    for path in extras:
+        sections += [f"## {path.stem}", "", "```",
+                     path.read_text(encoding="utf-8").rstrip(), "```", ""]
+    return "\n".join(sections)
+
+
+def write_report(results_dir: str | Path = "results",
+                 output: str | Path = "results/REPORT.md") -> Path:
+    """Write :func:`build_report` output to ``output``."""
+    output = Path(output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(build_report(results_dir), encoding="utf-8")
+    return output

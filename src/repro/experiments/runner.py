@@ -1,0 +1,217 @@
+"""Single-run executor with on-disk result caching.
+
+``run_experiment(spec)`` performs the complete pipeline for one
+:class:`RunSpec` — dataset generation, tokenizer training, encoder
+pre-training (disk-cached), model construction, fine-tuning with
+Algorithm 1, and evaluation — and returns a metrics dict.  Results are
+cached as JSON keyed by the spec digest so tables that share runs
+(2 and 3; 4 and 5) compute each run once.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from repro.bert.cache import cache_dir, pretrained_bert
+from repro.bert.config import PRESETS
+from repro.data.imbalance import subsample_positives
+from repro.data.loader import PairEncoder
+from repro.data.registry import load_dataset
+from repro.data.schema import EMDataset
+from repro.eval.metrics import accuracy, micro_f1, precision_recall_f1
+from repro.experiments.config import MODEL_SPECS, RunSpec
+from repro.fasttext import FastTextEncoder, train_fasttext
+from repro.models import (
+    DeepMatcher,
+    Ditto,
+    Emba,
+    EmbaCls,
+    EmbaSurfCon,
+    JointBert,
+    JointBertCT,
+    JointBertS,
+    JointBertT,
+    JointMatcher,
+    SingleTaskMatcher,
+    TrainConfig,
+    Trainer,
+)
+from repro.text import SubwordHasher, WordPieceTokenizer, train_wordpiece
+from repro.text.corpus import build_corpus
+
+_FASTTEXT_DIM = 48
+
+
+@lru_cache(maxsize=32)
+def _tokenizer_for(dataset_name: str, size: str, data_seed: int,
+                   vocab_size: int) -> WordPieceTokenizer:
+    dataset = load_dataset(dataset_name, size=size, seed=data_seed)
+    corpus = build_corpus([dataset])
+    return WordPieceTokenizer(train_wordpiece(corpus, vocab_size=vocab_size))
+
+
+@lru_cache(maxsize=16)
+def _fasttext_buckets(dataset_name: str, size: str, data_seed: int) -> bytes:
+    """Trained fastText bucket matrix, serialized for the lru cache."""
+    dataset = load_dataset(dataset_name, size=size, seed=data_seed)
+    corpus = build_corpus([dataset])
+    hasher = SubwordHasher(num_buckets=2048)
+    vectors = train_fasttext(corpus, hasher, dim=_FASTTEXT_DIM, epochs=2, seed=0)
+    return vectors.tobytes()
+
+
+def _build_encoder(preset: str, spec: RunSpec, tokenizer: WordPieceTokenizer,
+                   dataset: EMDataset) -> tuple:
+    """Return (encoder module, hidden size)."""
+    corpus = build_corpus([dataset])
+    if preset == "fasttext":
+        hasher = SubwordHasher(num_buckets=2048)
+        raw = _fasttext_buckets(spec.dataset, spec.size, spec.data_seed)
+        buckets = np.frombuffer(raw, dtype=np.float32).reshape(2048, _FASTTEXT_DIM).copy()
+        encoder = FastTextEncoder(tokenizer.vocab, hasher, _FASTTEXT_DIM,
+                                  np.random.default_rng(spec.seed),
+                                  pretrained_buckets=buckets)
+        return encoder, _FASTTEXT_DIM
+    config = PRESETS[preset].with_vocab(len(tokenizer.vocab))
+    if spec.pretrain_steps is not None:
+        config = replace(config, pretrain_steps=spec.pretrain_steps)
+    # Pre-training seed is fixed: the paper starts every fine-tuning run
+    # from the same pre-trained checkpoint and varies only fine-tuning.
+    encoder = pretrained_bert(config, tokenizer, corpus, seed=0)
+    return encoder, config.hidden_size
+
+
+def _build_model(spec: RunSpec, encoder, hidden: int, dataset: EMDataset,
+                 tokenizer: WordPieceTokenizer):
+    model_spec = MODEL_SPECS[spec.model]
+    rng = np.random.default_rng(spec.seed + 1000)
+    classes = max(dataset.num_id_classes, 1)
+    kind = model_spec.kind
+    if kind == "emba":
+        return Emba(encoder, hidden, classes, rng)
+    if kind == "emba_unmasked":
+        return Emba(encoder, hidden, classes, rng, masked_aoa=False)
+    if kind == "emba_cls":
+        return EmbaCls(encoder, hidden, classes, rng)
+    if kind == "emba_surfcon":
+        return EmbaSurfCon(encoder, hidden, classes, rng)
+    if kind == "jointbert":
+        return JointBert(encoder, hidden, classes, rng)
+    if kind == "jointbert_s":
+        return JointBertS(encoder, hidden, classes, rng)
+    if kind == "jointbert_t":
+        return JointBertT(encoder, hidden, classes, rng)
+    if kind == "jointbert_ct":
+        return JointBertCT(encoder, hidden, classes, rng)
+    if kind == "single":
+        return SingleTaskMatcher(encoder, hidden, rng)
+    if kind == "ditto":
+        return Ditto(encoder, hidden, tokenizer.vocab, rng)
+    if kind == "jointmatcher":
+        return JointMatcher(encoder, hidden, tokenizer.vocab, rng)
+    if kind == "deepmatcher":
+        pos, neg = dataset.positive_negative_counts("train")
+        pos_weight = (neg / pos) if pos else None
+        return DeepMatcher(len(tokenizer.vocab), rng, embed_dim=_FASTTEXT_DIM,
+                           hidden=32, pos_weight=pos_weight)
+    raise KeyError(f"unknown model kind {kind!r}")
+
+
+def _results_dir() -> Path:
+    path = cache_dir() / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def run_experiment(spec: RunSpec, use_cache: bool = True) -> dict:
+    """Execute one run (or load it from the result cache).
+
+    Returns a flat metrics dict: ``em_f1``, ``em_precision``,
+    ``em_recall``, ``acc1``, ``acc2``, ``id_micro_f1``, ``epochs_run``,
+    ``train_seconds``, plus the spec fields for provenance.
+    """
+    cache_path = _results_dir() / f"{spec.digest()}.json"
+    if use_cache and cache_path.exists():
+        return json.loads(cache_path.read_text(encoding="utf-8"))
+
+    model_spec = MODEL_SPECS[spec.model]
+    dataset = load_dataset(spec.dataset, size=spec.size, seed=spec.data_seed)
+    if spec.subsample_positives is not None:
+        rng = np.random.default_rng(spec.seed + 7)
+        dataset = EMDataset(
+            name=dataset.name,
+            train=subsample_positives(dataset.train, spec.subsample_positives, rng),
+            valid=dataset.valid,
+            test=dataset.test,
+            id_classes=dataset.id_classes,
+            metadata=dict(dataset.metadata),
+        )
+
+    tokenizer = _tokenizer_for(spec.dataset, spec.size, spec.data_seed,
+                               spec.vocab_size)
+    pair_encoder = PairEncoder(tokenizer, max_length=spec.max_length,
+                               style=model_spec.style)
+    train = pair_encoder.encode_many(dataset.train, dataset)
+    valid = pair_encoder.encode_many(dataset.valid, dataset)
+    test = pair_encoder.encode_many(dataset.test, dataset)
+
+    if model_spec.encoder is not None:
+        encoder, hidden = _build_encoder(model_spec.encoder, spec, tokenizer, dataset)
+    else:
+        encoder, hidden = None, 0
+    model = _build_model(spec, encoder, hidden, dataset, tokenizer)
+
+    # The fastText variant is a shallow bag-of-subwords model (no deep
+    # encoder to destabilize) and needs a hotter rate, mirroring
+    # fastText's own much larger default learning rates.
+    learning_rate = spec.learning_rate
+    if model_spec.encoder == "fasttext":
+        learning_rate = spec.learning_rate * 3.0
+    trainer = Trainer(TrainConfig(
+        epochs=spec.epochs, batch_size=spec.batch_size,
+        learning_rate=learning_rate, patience=spec.patience,
+        seed=spec.seed,
+    ))
+    start = time.perf_counter()
+    fit = trainer.fit(model, train, valid)
+    train_seconds = time.perf_counter() - start
+
+    preds = trainer.predict_all(model, test)
+    precision, recall, f1 = precision_recall_f1(preds["labels"], preds["em_pred"])
+    metrics = {
+        "em_f1": f1,
+        "em_precision": precision,
+        "em_recall": recall,
+        "epochs_run": fit.epochs_run,
+        "best_valid_f1": fit.best_valid_f1,
+        "train_seconds": train_seconds,
+        "num_id_classes": dataset.num_id_classes,
+        **{f"spec_{k}": v for k, v in spec.__dict__.items()},
+    }
+    if model_spec.multi_task:
+        metrics["acc1"] = accuracy(preds["id1"], preds["id1_pred"])
+        metrics["acc2"] = accuracy(preds["id2"], preds["id2_pred"])
+        pooled_true = np.concatenate([preds["id1"], preds["id2"]])
+        pooled_pred = np.concatenate([preds["id1_pred"], preds["id2_pred"]])
+        metrics["id_micro_f1"] = micro_f1(pooled_true, pooled_pred)
+    if use_cache:
+        cache_path.write_text(json.dumps(metrics), encoding="utf-8")
+    return metrics
+
+
+def run_many(specs: list[RunSpec], use_cache: bool = True,
+             progress: bool = False) -> list[dict]:
+    """Run a list of specs sequentially (with caching)."""
+    results = []
+    for i, spec in enumerate(specs):
+        if progress:
+            print(f"[{i + 1}/{len(specs)}] {spec.model} on {spec.dataset}"
+                  f"/{spec.size} seed={spec.seed}", flush=True)
+        results.append(run_experiment(spec, use_cache=use_cache))
+    return results

@@ -1,0 +1,289 @@
+"""Reproduction of the paper's Tables 1-7.
+
+Every ``tableN`` function returns a :class:`TableResult` with the
+measured rows and an ASCII rendering, and writes the rendering under
+``results/`` in the repository (or a caller-supplied directory).  The
+functions consume the run cache, so tables sharing runs (2/3, 4/5)
+compute each run once.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.registry import dataset_summary, load_dataset
+from repro.data.generators.wdc import WDC_SIZES
+from repro.eval.reporting import format_table
+from repro.eval.significance import one_tailed_t_test, significance_stars
+from repro.experiments.config import (
+    Profile,
+    RunSpec,
+    TABLE2_MODELS,
+    TABLE4_MODELS,
+    TABLE6_MODELS,
+    active_profile,
+    spec_for,
+)
+from repro.experiments.runner import run_many
+
+
+@dataclass
+class TableResult:
+    """A reproduced table: data plus rendering."""
+
+    name: str
+    headers: list[str]
+    rows: list[list]
+    rendered: str
+
+    def save(self, directory: str | Path = "results") -> Path:
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        out = path / f"{self.name}.txt"
+        out.write_text(self.rendered + "\n", encoding="utf-8")
+        return out
+
+
+def _render(name: str, title: str, headers: list[str], rows: list[list]) -> TableResult:
+    return TableResult(name=name, headers=headers, rows=rows,
+                       rendered=format_table(headers, rows, title=title))
+
+
+def _config_label(dataset: str, size: str) -> str:
+    return dataset if size == "default" else f"{dataset}/{size}"
+
+
+# ----------------------------------------------------------------------
+# Table 1 — dataset statistics
+# ----------------------------------------------------------------------
+
+def table1(profile: Profile | None = None) -> TableResult:
+    """Dataset statistics: pair counts, LRID, classes, test size."""
+    rows = []
+    for category in ("computers", "cameras", "watches", "shoes"):
+        for size in WDC_SIZES:
+            summary = dataset_summary(load_dataset(f"wdc_{category}", size=size))
+            rows.append([f"wdc_{category}", size, summary["pos_pairs"],
+                         summary["neg_pairs"], round(summary["lrid"], 3),
+                         summary["num_classes"], summary["test_size"]])
+    for name in ("abt_buy", "dblp_scholar", "companies", "baby_products",
+                 "bikes", "books"):
+        summary = dataset_summary(load_dataset(name))
+        rows.append([name, "default", summary["pos_pairs"], summary["neg_pairs"],
+                     round(summary["lrid"], 3), summary["num_classes"],
+                     summary["test_size"]])
+    return _render(
+        "table1_datasets", "Table 1: dataset statistics (synthetic analogues)",
+        ["dataset", "size", "pos_pairs", "neg_pairs", "lrid", "classes", "test"],
+        rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables 2 and 3 — main EM comparison and entity-ID metrics
+# ----------------------------------------------------------------------
+
+def _main_grid_specs(profile: Profile) -> list[RunSpec]:
+    specs = []
+    for dataset, size in profile.grid:
+        for model in TABLE2_MODELS:
+            seeds = (profile.seeds_main if model in ("emba", "jointbert")
+                     else profile.seeds_other)
+            for seed in seeds:
+                specs.append(spec_for(dataset, size, model, seed, profile))
+    return specs
+
+
+def _collect(results: list[dict]) -> dict[tuple[str, str, str], list[dict]]:
+    """Group run metrics by (dataset, size, model)."""
+    grouped: dict[tuple[str, str, str], list[dict]] = defaultdict(list)
+    for r in results:
+        grouped[(r["spec_dataset"], r["spec_size"], r["spec_model"])].append(r)
+    return grouped
+
+
+def _mean_std(values: list[float]) -> str:
+    if len(values) == 1:
+        return f"{100 * values[0]:.2f}"
+    return f"{100 * np.mean(values):.2f}(±{100 * np.std(values):.2f})"
+
+
+def table2(profile: Profile | None = None, progress: bool = False) -> TableResult:
+    """EM F1 for every model, with EMBA-vs-JointBERT significance stars."""
+    profile = profile or active_profile()
+    results = run_many(_main_grid_specs(profile), progress=progress)
+    grouped = _collect(results)
+
+    headers = ["dataset", "size"] + list(TABLE2_MODELS) + ["emba_vs_jb"]
+    rows = []
+    for dataset, size in profile.grid:
+        row: list = [dataset, size]
+        f1s: dict[str, list[float]] = {}
+        for model in TABLE2_MODELS:
+            values = [r["em_f1"] for r in grouped.get((dataset, size, model), [])]
+            f1s[model] = values
+            row.append(_mean_std(values) if values else "-")
+        emba, joint = f1s.get("emba", []), f1s.get("jointbert", [])
+        if len(emba) >= 2 and len(joint) >= 2:
+            row.append(significance_stars(one_tailed_t_test(emba, joint)))
+        else:
+            row.append("-")
+        rows.append(row)
+    return _render("table2_em_f1",
+                   "Table 2: EM F1 (x100) across models and datasets",
+                   headers, rows)
+
+
+def table3(profile: Profile | None = None, progress: bool = False) -> TableResult:
+    """Entity-ID accuracy and micro-F1 for the multi-task models."""
+    profile = profile or active_profile()
+    results = run_many(_main_grid_specs(profile), progress=progress)
+    grouped = _collect(results)
+
+    models = ("jointbert", "emba", "emba_sb", "emba_db", "emba_ft")
+    headers = ["dataset", "size"]
+    for model in models:
+        headers += [f"{model}.acc1", f"{model}.acc2", f"{model}.f1"]
+    rows = []
+    for dataset, size in profile.grid:
+        row: list = [dataset, size]
+        for model in models:
+            runs = grouped.get((dataset, size, model), [])
+            runs = [r for r in runs if "acc1" in r]
+            if not runs:
+                row += ["-", "-", "-"]
+                continue
+            row += [
+                f"{100 * np.mean([r['acc1'] for r in runs]):.2f}",
+                f"{100 * np.mean([r['acc2'] for r in runs]):.2f}",
+                f"{100 * np.mean([r['id_micro_f1'] for r in runs]):.2f}",
+            ]
+        rows.append(row)
+    return _render("table3_entity_id",
+                   "Table 3: entity-ID accuracy and micro-F1 (x100)",
+                   headers, rows)
+
+
+# ----------------------------------------------------------------------
+# Tables 4 and 5 — ablations
+# ----------------------------------------------------------------------
+
+def _ablation_specs(profile: Profile) -> list[RunSpec]:
+    return [
+        spec_for(dataset, size, model, 0, profile)
+        for dataset, size in profile.ablations()
+        for model in TABLE4_MODELS
+    ]
+
+
+def table4(profile: Profile | None = None, progress: bool = False) -> TableResult:
+    """Ablation EM F1: token representations and the AoA module."""
+    profile = profile or active_profile()
+    results = run_many(_ablation_specs(profile), progress=progress)
+    grouped = _collect(results)
+
+    headers = ["dataset", "size"] + list(TABLE4_MODELS)
+    rows = []
+    for dataset, size in profile.ablations():
+        row: list = [dataset, size]
+        for model in TABLE4_MODELS:
+            runs = grouped.get((dataset, size, model), [])
+            row.append(f"{100 * runs[0]['em_f1']:.2f}" if runs else "-")
+        rows.append(row)
+    return _render("table4_ablation_em",
+                   "Table 4: ablation EM F1 (x100)", headers, rows)
+
+
+def table5(profile: Profile | None = None, progress: bool = False) -> TableResult:
+    """Ablation entity-ID metrics (JointBERT-S / -T / -CT)."""
+    profile = profile or active_profile()
+    results = run_many(_ablation_specs(profile), progress=progress)
+    grouped = _collect(results)
+
+    models = ("jointbert_s", "jointbert_t", "jointbert_ct")
+    headers = ["dataset", "size"]
+    for model in models:
+        headers += [f"{model}.acc1", f"{model}.acc2", f"{model}.f1"]
+    rows = []
+    for dataset, size in profile.ablations():
+        row: list = [dataset, size]
+        for model in models:
+            runs = [r for r in grouped.get((dataset, size, model), [])
+                    if "acc1" in r]
+            if not runs:
+                row += ["-", "-", "-"]
+                continue
+            r = runs[0]
+            row += [f"{100 * r['acc1']:.2f}", f"{100 * r['acc2']:.2f}",
+                    f"{100 * r['id_micro_f1']:.2f}"]
+        rows.append(row)
+    return _render("table5_ablation_id",
+                   "Table 5: ablation entity-ID metrics (x100)", headers, rows)
+
+
+# ----------------------------------------------------------------------
+# Table 6 — imbalance study
+# ----------------------------------------------------------------------
+
+# Training-positive counts for the subsampled WDC computers xlarge
+# variants.  The paper subsamples 9690 -> 6146/1762/722 positives
+# (ratios 0.104/0.030/0.012); at our scale the xlarge set has 100
+# positives and 450 negatives.  The ladder is compressed (0.14/0.07/0.04)
+# because below ~20 positives *every* mini model collapses outright and
+# the comparison becomes uninformative.
+TABLE6_POSITIVES = (63, 32, 18)
+
+
+def table6(profile: Profile | None = None, progress: bool = False) -> TableResult:
+    """EM F1 under positive-class subsampling of WDC computers xlarge."""
+    profile = profile or active_profile()
+    baseline_specs = [
+        spec_for("wdc_computers", "xlarge", model, 0, profile)
+        for model in TABLE6_MODELS
+    ]
+    baseline = {r["spec_model"]: r for r in run_many(baseline_specs, progress=progress)}
+
+    headers = ["pos/neg ratio"] + [f"{m} (Δ)" for m in TABLE6_MODELS]
+    rows = []
+    for num_pos in TABLE6_POSITIVES:
+        specs = [
+            spec_for("wdc_computers", "xlarge", model, 0, profile,
+                     subsample_positives=num_pos)
+            for model in TABLE6_MODELS
+        ]
+        results = {r["spec_model"]: r for r in run_many(specs, progress=progress)}
+        ratio = num_pos / 450
+        row: list = [f"{ratio:.3f}"]
+        for model in TABLE6_MODELS:
+            f1 = 100 * results[model]["em_f1"]
+            delta = f1 - 100 * baseline[model]["em_f1"]
+            row.append(f"{f1:.2f} ({delta:+.2f})")
+        rows.append(row)
+    return _render("table6_imbalance",
+                   "Table 6: EM F1 under positive subsampling "
+                   "(Δ vs full xlarge)", headers, rows)
+
+
+# ----------------------------------------------------------------------
+# Table 7 — computational efficiency
+# ----------------------------------------------------------------------
+
+def table7(progress: bool = False) -> TableResult:
+    """Training and inference throughput (pairs/second) per model."""
+    from repro.experiments.efficiency import measure_model_throughput
+
+    rows = []
+    from repro.experiments.config import TABLE7_MODELS
+    for model in TABLE7_MODELS:
+        if progress:
+            print(f"[throughput] {model}", flush=True)
+        result = measure_model_throughput(model)
+        rows.append([model, round(result["train_pairs_per_s"], 1),
+                     round(result["infer_pairs_per_s"], 1)])
+    return _render("table7_efficiency",
+                   "Table 7: computational efficiency (pairs/second)",
+                   ["model", "training", "inference"], rows)

@@ -1,0 +1,24 @@
+"""repro.explain — matching-decision analysis (paper Sec. 4.7).
+
+- :mod:`~repro.explain.lime`: a from-scratch LIME explainer in the style
+  of the Mojito framework: word-dropping perturbations + a weighted
+  ridge surrogate whose coefficients are the word importances (Figure 5).
+- :mod:`~repro.explain.attention_viz`: last-layer attention-score
+  extraction with WordPiece re-aggregation and ASCII heatmap rendering
+  (Figure 6).
+"""
+
+from repro.explain.attention_viz import (
+    AttentionSummary,
+    attention_scores,
+    render_heatmap,
+)
+from repro.explain.lime import LimeExplainer, WordImportance
+
+__all__ = [
+    "AttentionSummary",
+    "LimeExplainer",
+    "WordImportance",
+    "attention_scores",
+    "render_heatmap",
+]

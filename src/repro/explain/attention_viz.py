@@ -1,0 +1,119 @@
+"""Attention-score extraction and visualization (the Figure 6 analogue).
+
+Per the paper (following Wolf et al.'s recommendation), a word's
+attention score is the total attention it *receives* in the last
+encoder layer, summed over heads; WordPiece splits of one word are
+re-aggregated by summing their pieces' scores.  EMBA's AoA gamma
+distribution can be rendered the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.loader import PairEncoder, collate
+from repro.data.schema import EntityPair
+from repro.models.base import EMModel
+from repro.nn.tensor import no_grad
+
+_SHADES = " .:-=+*#%@"
+
+
+@dataclass
+class AttentionSummary:
+    """Per-word attention scores for one record of a pair."""
+
+    words: list[str]
+    scores: np.ndarray  # same length as words, sums to ~1 within the record
+
+
+def _aggregate_wordpieces(tokens: list[str], scores: np.ndarray,
+                          keep: np.ndarray) -> tuple[list[str], np.ndarray]:
+    """Merge ``##`` continuation pieces back into words, summing scores."""
+    words: list[str] = []
+    sums: list[float] = []
+    for token, score, flag in zip(tokens, scores, keep):
+        if not flag:
+            continue
+        if token.startswith("##") and words:
+            words[-1] += token[2:]
+            sums[-1] += float(score)
+        else:
+            words.append(token)
+            sums.append(float(score))
+    return words, np.array(sums)
+
+
+def attention_scores(model: EMModel, encoder: PairEncoder, pair: EntityPair
+                     ) -> tuple[AttentionSummary, AttentionSummary]:
+    """Last-layer received-attention per word, for each record.
+
+    For models exposing AoA (EMBA), prefer :func:`aoa_scores` for the
+    token-importance view; this function reflects the raw transformer
+    attention the paper visualizes for both JointBERT and EMBA.
+    """
+    encoded = encoder.encode(pair)
+    batch = collate([encoded])
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            output = model(batch)
+    finally:
+        if was_training:
+            model.train()
+    if not output.attentions:
+        raise ValueError("model exposes no attention maps (non-transformer encoder)")
+
+    last = output.attentions[-1][0]          # (heads, S, S)
+    received = last.sum(axis=0).sum(axis=0)  # attention received per position
+
+    summaries = []
+    for mask in (batch.mask1[0], batch.mask2[0]):
+        words, sums = _aggregate_wordpieces(encoded.tokens, received, mask > 0)
+        total = sums.sum()
+        if total > 0:
+            sums = sums / total
+        summaries.append(AttentionSummary(words=words, scores=sums))
+    return summaries[0], summaries[1]
+
+
+def aoa_scores(model: EMModel, encoder: PairEncoder, pair: EntityPair
+               ) -> AttentionSummary:
+    """EMBA's AoA gamma over record1's words (its token-importance view)."""
+    encoded = encoder.encode(pair)
+    batch = collate([encoded])
+    with no_grad():
+        output = model(batch)
+    if output.aoa_gamma is None:
+        raise ValueError("model has no AoA module")
+    words, sums = _aggregate_wordpieces(
+        encoded.tokens, output.aoa_gamma[0], batch.mask1[0] > 0
+    )
+    total = sums.sum()
+    if total > 0:
+        sums = sums / total
+    return AttentionSummary(words=words, scores=sums)
+
+
+def render_heatmap(summary: AttentionSummary, width: int = 72) -> str:
+    """ASCII shading of per-word attention (darker = more attention)."""
+    if not summary.words:
+        return "(empty)"
+    top = summary.scores.max() or 1.0
+    cells = []
+    for word, score in zip(summary.words, summary.scores):
+        shade = _SHADES[min(int(score / top * (len(_SHADES) - 1)), len(_SHADES) - 1)]
+        cells.append(f"{word}[{shade}]")
+    lines, current = [], ""
+    for cell in cells:
+        if current and len(current) + len(cell) + 1 > width:
+            lines.append(current)
+            current = cell
+        else:
+            current = f"{current} {cell}".strip()
+    if current:
+        lines.append(current)
+    return "\n".join(lines)

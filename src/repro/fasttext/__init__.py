@@ -1,0 +1,13 @@
+"""repro.fasttext — a fastText-style subword embedding model.
+
+Backs the EMBA (FT) variant: word vectors are sums of hashed character
+n-gram embeddings, trained with skip-gram + negative sampling on the
+benchmark corpus.  A :class:`FastTextEncoder` exposes the same
+"sequence of token vectors" interface the BERT encoder provides, so the
+EM heads are encoder-agnostic.
+"""
+
+from repro.fasttext.model import FastTextEmbeddings, FastTextEncoder
+from repro.fasttext.trainer import train_fasttext
+
+__all__ = ["FastTextEmbeddings", "FastTextEncoder", "train_fasttext"]

@@ -1,0 +1,76 @@
+"""Skip-gram with negative sampling over subword buckets.
+
+Trains the bucket embedding matrix used by EMBA (FT).  The update rule
+is the standard SGNS gradient, applied directly with numpy (no autodiff
+needed for this shallow bilinear model) — which is also why the paper's
+fastText variant is by far the fastest model in Table 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.text.normalize import basic_tokenize
+from repro.text.subword import SubwordHasher
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+def train_fasttext(corpus: list[str], hasher: SubwordHasher, dim: int = 48,
+                   window: int = 3, negatives: int = 4, epochs: int = 3,
+                   lr: float = 0.05, seed: int = 0) -> np.ndarray:
+    """Train bucket embeddings with skip-gram + negative sampling.
+
+    Returns the input bucket matrix ``(num_buckets, dim)``.
+    """
+    rng = np.random.default_rng(seed)
+    tokenized = [basic_tokenize(text) for text in corpus]
+    tokenized = [t for t in tokenized if len(t) >= 2]
+    if not tokenized:
+        raise ValueError("corpus has no multi-token texts to train on")
+
+    # Context vocabulary: unique words, each with an output vector.
+    words = sorted({w for toks in tokenized for w in toks})
+    word_index = {w: i for i, w in enumerate(words)}
+    bucket_cache = {w: np.array(hasher.word_buckets(w), dtype=np.int64) for w in words}
+
+    in_vectors = rng.normal(0.0, 0.5 / dim, size=(hasher.num_buckets, dim))
+    out_vectors = np.zeros((len(words), dim))
+
+    # Unigram^(3/4) negative-sampling table.
+    counts = np.zeros(len(words))
+    for toks in tokenized:
+        for w in toks:
+            counts[word_index[w]] += 1
+    neg_probs = counts ** 0.75
+    neg_probs /= neg_probs.sum()
+
+    for epoch in range(epochs):
+        step_lr = lr * (1.0 - epoch / epochs)
+        order = rng.permutation(len(tokenized))
+        for doc_i in order:
+            tokens = tokenized[doc_i]
+            for center_pos, center in enumerate(tokens):
+                buckets = bucket_cache[center]
+                center_vec = in_vectors[buckets].mean(axis=0)
+                lo = max(0, center_pos - window)
+                hi = min(len(tokens), center_pos + window + 1)
+                for ctx_pos in range(lo, hi):
+                    if ctx_pos == center_pos:
+                        continue
+                    target = word_index[tokens[ctx_pos]]
+                    sampled = rng.choice(len(words), size=negatives, p=neg_probs)
+                    targets = np.concatenate([[target], sampled])
+                    labels = np.zeros(len(targets))
+                    labels[0] = 1.0
+
+                    ctx_vecs = out_vectors[targets]               # (K, dim)
+                    scores = _sigmoid(ctx_vecs @ center_vec)      # (K,)
+                    errs = (scores - labels)[:, None]             # (K, 1)
+                    grad_center = (errs * ctx_vecs).sum(axis=0)
+                    out_vectors[targets] -= step_lr * errs * center_vec
+                    in_vectors[buckets] -= step_lr * grad_center / len(buckets)
+
+    return in_vectors.astype(np.float32)

@@ -1,0 +1,63 @@
+"""repro.models — EM models: the paper's contribution and every baseline.
+
+========================  =====================================================
+class                     paper reference
+========================  =====================================================
+``Emba``                  the proposed model (token-rep ID heads + AoA EM head)
+``EmbaCls``               ablation: [CLS] aux heads + AoA EM head (EMBA-CLS)
+``EmbaSurfCon``           ablation: SurfCon context matcher instead of AoA
+``JointBert``             Peeters & Bizer's dual-objective baseline
+``JointBertS``            ablation: [SEP] token for the 2nd ID task
+``JointBertT``            ablation: averaged token reps for all tasks
+``JointBertCT``           ablation: averaged token aux heads + [CLS] EM head
+``SingleTaskMatcher``     BERT / RoBERTa fine-tuning baselines
+``Ditto``                 DITTO ([COL]/[VAL] serialization, single task)
+``DeepMatcher``           RNN attribute-summarizer baseline
+``JointMatcher``          relevance- + number-aware encoder baseline
+========================  =====================================================
+
+All encoder-based models accept any encoder honouring the
+:class:`repro.bert.model.BertModel` output contract, which is how the
+EMBA (FT)/(SB)/(DB) variants are expressed.
+"""
+
+from repro.models.active import ActiveLearningResult, active_learn
+from repro.models.aoa import AttentionOverAttention
+from repro.models.base import EMModel, EMOutput
+from repro.models.deepmatcher import DeepMatcher
+from repro.models.ditto import Ditto
+from repro.models.emba import Emba, EmbaCls, EmbaSurfCon
+from repro.models.jointbert import JointBert, JointBertCT, JointBertS, JointBertT
+from repro.models.jointmatcher import JointMatcher
+from repro.models.selftraining import SelfTrainingResult, self_train
+from repro.models.single_task import SingleTaskMatcher
+from repro.models.sweep import sweep_learning_rate
+from repro.models.surfcon import SurfConMatcher
+from repro.models.trainer import EarlyStopping, TrainConfig, Trainer, TrainResult
+
+__all__ = [
+    "ActiveLearningResult",
+    "AttentionOverAttention",
+    "DeepMatcher",
+    "Ditto",
+    "EMModel",
+    "EMOutput",
+    "EarlyStopping",
+    "Emba",
+    "EmbaCls",
+    "EmbaSurfCon",
+    "JointBert",
+    "JointBertCT",
+    "JointBertS",
+    "JointBertT",
+    "JointMatcher",
+    "SelfTrainingResult",
+    "SingleTaskMatcher",
+    "SurfConMatcher",
+    "TrainConfig",
+    "TrainResult",
+    "Trainer",
+    "active_learn",
+    "self_train",
+    "sweep_learning_rate",
+]

@@ -1,0 +1,86 @@
+"""Attention-over-attention (AoA) — the paper's Section 3.4 module.
+
+Given the token representations of the two records, AoA computes
+
+- the pairwise interaction matrix ``I = E1 @ E2^T``;
+- ``alpha``: column-wise softmax of ``I`` (a distribution over record1
+  tokens for every record2 token);
+- ``beta``: row-wise softmax of ``I`` (record1 -> record2 attention);
+- ``beta_bar``: the column-wise average of ``beta`` — "the averaged
+  second entity attention";
+- ``gamma = alpha @ beta_bar`` — attention *over* attention, a
+  distribution over record1 tokens (it sums to one because every column
+  of ``alpha`` does and ``beta_bar`` does);
+- the classifier input ``x = gamma^T @ E1 ∈ R^h``.
+
+Our implementation runs batched over padded sequences with *masked*
+softmaxes, which is mathematically identical to the paper's
+sample-by-sample computation on the true (un-padded) spans.  Setting
+``masked=False`` reproduces the paper's negative result for naive
+padding ("the intermediate padding for the AOA will skew the
+representation"): padding positions then leak probability mass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class AttentionOverAttention(Module):
+    """Batched AoA over a shared padded sequence with two span masks."""
+
+    def __init__(self, masked: bool = True):
+        super().__init__()
+        self.masked = masked
+
+    def forward(self, sequence: Tensor, mask1: np.ndarray, mask2: np.ndarray
+                ) -> tuple[Tensor, np.ndarray]:
+        """Compute the AoA-pooled record1 representation.
+
+        Parameters
+        ----------
+        sequence:
+            ``(B, S, H)`` last-layer token representations.
+        mask1, mask2:
+            ``(B, S)`` 0/1 masks selecting each record's description
+            tokens within the packed sequence.
+
+        Returns
+        -------
+        (x, gamma):
+            ``x`` is the ``(B, H)`` classifier input; ``gamma`` the
+            ``(B, S)`` token-importance distribution over record1
+            (a plain ndarray for analysis).
+        """
+        interactions = sequence @ sequence.swapaxes(1, 2)  # (B, S, S)
+
+        if self.masked:
+            # alpha: softmax over record1 positions (axis=1) per column.
+            row_bias = F.attention_mask_bias(mask1[:, :, None], dtype=interactions.dtype)
+            alpha = F.softmax(interactions + Tensor(row_bias), axis=1)
+            # beta: softmax over record2 positions (axis=2) per row.
+            col_bias = F.attention_mask_bias(mask2[:, None, :], dtype=interactions.dtype)
+            beta = F.softmax(interactions + Tensor(col_bias), axis=2)
+        else:
+            alpha = F.softmax(interactions, axis=1)
+            beta = F.softmax(interactions, axis=2)
+
+        # beta_bar: average beta over record1 rows -> (B, S) over columns.
+        m1 = Tensor(np.asarray(mask1, dtype=sequence.dtype.type))
+        counts1 = Tensor(
+            np.maximum(np.asarray(mask1, dtype=np.float64).sum(axis=1), 1.0)
+            .astype(sequence.dtype.type)[:, None]
+        )
+        beta_bar = (beta * m1.expand_dims(2)).sum(axis=1) / counts1  # (B, S)
+
+        # gamma_i = sum_t alpha[i, t] * beta_bar[t], restricted to record2 cols.
+        m2 = Tensor(np.asarray(mask2, dtype=sequence.dtype.type))
+        gamma = (alpha * (beta_bar * m2).expand_dims(1)).sum(axis=2)  # (B, S)
+
+        # x = gamma^T @ E1.
+        x = (sequence * gamma.expand_dims(2)).sum(axis=1)  # (B, H)
+        return x, gamma.data

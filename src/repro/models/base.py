@@ -1,0 +1,79 @@
+"""Shared EM model interface.
+
+Every model consumes a :class:`repro.data.loader.Batch` and produces an
+:class:`EMOutput`; multi-task models also fill the two entity-ID logit
+fields.  ``loss`` implements the paper's Eq. 3 when auxiliary logits are
+present and plain BCE otherwise, so the trainer is model-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.loader import Batch
+from repro.nn.losses import binary_cross_entropy_with_logits, cross_entropy
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, no_grad
+
+
+@dataclass
+class EMOutput:
+    """Model outputs for one batch."""
+
+    em_logits: Tensor                       # (B,) raw match logits
+    id1_logits: Tensor | None = None        # (B, C)
+    id2_logits: Tensor | None = None        # (B, C)
+    attentions: list[np.ndarray] = field(default_factory=list)
+    # EMBA's AoA token-importance distribution over record1 (B, S);
+    # None for non-AoA models.  Used by the case-study analysis.
+    aoa_gamma: np.ndarray | None = None
+
+
+class EMModel(Module):
+    """Base class: forward(batch) -> EMOutput plus loss/prediction glue."""
+
+    #: positive-class weight for the BCE term (DeepMatcher sets this from
+    #: the training distribution; None elsewhere).
+    pos_weight: float | None = None
+
+    def forward(self, batch: Batch) -> EMOutput:
+        raise NotImplementedError
+
+    def loss(self, output: EMOutput, batch: Batch) -> Tensor:
+        """Eq. 3: ``BCE(em) + CE(id1) + CE(id2)`` (aux terms if present)."""
+        total = binary_cross_entropy_with_logits(
+            output.em_logits, batch.labels, pos_weight=self.pos_weight
+        )
+        if output.id1_logits is not None:
+            total = total + cross_entropy(output.id1_logits, batch.id1)
+        if output.id2_logits is not None:
+            total = total + cross_entropy(output.id2_logits, batch.id2)
+        return total
+
+    def predict(self, batch: Batch, threshold: float = 0.5) -> dict[str, np.ndarray]:
+        """Inference-mode predictions for one batch.
+
+        Returns a dict with ``em_prob``, ``em_pred`` and (for multi-task
+        models) ``id1_pred`` / ``id2_pred`` arrays.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                output = self(batch)
+        finally:
+            if was_training:
+                self.train()
+        logits = output.em_logits.data
+        probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+        result = {
+            "em_prob": probs,
+            "em_pred": (probs >= threshold).astype(np.int64),
+        }
+        if output.id1_logits is not None:
+            result["id1_pred"] = output.id1_logits.data.argmax(axis=-1)
+        if output.id2_logits is not None:
+            result["id2_pred"] = output.id2_logits.data.argmax(axis=-1)
+        return result

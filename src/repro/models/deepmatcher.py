@@ -1,0 +1,71 @@
+"""DeepMatcher analogue (Mudgal et al., SIGMOD 2018).
+
+DeepMatcher's hybrid configuration embeds attribute values with word
+embeddings, summarizes each record with an RNN + attention, and
+classifies the comparison of the two summaries.  Our analogue runs a
+bidirectional GRU over each record's span of (trainable) word
+embeddings, attention-pools each side, and feeds the classic similarity
+features ``[h1, h2, |h1-h2|, h1*h2]`` to an MLP.  The positive/negative
+class weighting DeepMatcher applies is exposed via ``pos_weight``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.loader import Batch
+from repro.models.base import EMModel, EMOutput
+from repro.nn import functional as F
+from repro.nn.layers import Embedding, Linear
+from repro.nn.module import Module
+from repro.nn.rnn import GRU
+from repro.nn.tensor import Tensor, concat
+
+
+class _AttentionPool(Module):
+    """Learned softmax pooling over a masked span."""
+
+    def __init__(self, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.scorer = Linear(hidden, 1, rng)
+
+    def forward(self, states: Tensor, mask: np.ndarray) -> Tensor:
+        scores = self.scorer(states).squeeze(-1)
+        bias = F.attention_mask_bias(mask, dtype=scores.dtype)
+        weights = F.softmax(scores + Tensor(bias), axis=-1)
+        return (states * weights.expand_dims(2)).sum(axis=1)
+
+
+class DeepMatcher(EMModel):
+    """BiGRU record summarizer + similarity-feature classifier."""
+
+    def __init__(self, vocab_size: int, rng: np.random.Generator,
+                 embed_dim: int = 48, hidden: int = 32,
+                 pos_weight: float | None = None,
+                 pretrained_embeddings: np.ndarray | None = None):
+        super().__init__()
+        self.pos_weight = pos_weight
+        self.embedding = Embedding(vocab_size, embed_dim, rng, padding_idx=0)
+        if pretrained_embeddings is not None:
+            if pretrained_embeddings.shape != (vocab_size, embed_dim):
+                raise ValueError(
+                    f"pretrained embeddings shape {pretrained_embeddings.shape} "
+                    f"!= ({vocab_size}, {embed_dim})"
+                )
+            self.embedding.weight.data[...] = pretrained_embeddings
+        self.gru = GRU(embed_dim, hidden, rng, bidirectional=True)
+        self.pool = _AttentionPool(2 * hidden, rng)
+        self.fc1 = Linear(8 * hidden, 2 * hidden, rng)
+        self.fc2 = Linear(2 * hidden, 1, rng)
+
+    def _summarize(self, embedded: Tensor, mask: np.ndarray) -> Tensor:
+        states, _ = self.gru(embedded, mask)
+        return self.pool(states, mask)
+
+    def forward(self, batch: Batch) -> EMOutput:
+        embedded = self.embedding(batch.input_ids)
+        h1 = self._summarize(embedded, batch.mask1)
+        h2 = self._summarize(embedded, batch.mask2)
+        features = concat([h1, h2, (h1 - h2).abs(), h1 * h2], axis=-1)
+        logits = self.fc2(F.relu(self.fc1(features))).squeeze(-1)
+        return EMOutput(em_logits=logits)

@@ -1,0 +1,73 @@
+"""Classification heads shared across the EM models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class BinaryHead(Module):
+    """Linear layer producing a single raw match logit per example."""
+
+    def __init__(self, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.fc = Linear(hidden, 1, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(x).squeeze(-1)
+
+
+class ClassHead(Module):
+    """Linear layer over a pooled vector for the entity-ID softmax."""
+
+    def __init__(self, hidden: int, num_classes: int, rng: np.random.Generator):
+        super().__init__()
+        self.fc = Linear(hidden, num_classes, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(x)
+
+
+class TokenAggregationHead(Module):
+    """EMBA's entity-ID head (Sec. 3.3): learned token aggregation.
+
+    A task-specific linear scorer assigns a weight to every token of the
+    record's span; a masked softmax normalizes the weights; the weighted
+    sum of token embeddings feeds the class logits.  Each task thereby
+    "identifies the subset of tokens that are indicative of the entity
+    identifier".
+    """
+
+    def __init__(self, hidden: int, num_classes: int, rng: np.random.Generator):
+        super().__init__()
+        self.scorer = Linear(hidden, 1, rng)
+        self.classifier = Linear(hidden, num_classes, rng)
+
+    def forward(self, sequence: Tensor, span_mask: np.ndarray) -> Tensor:
+        scores = self.scorer(sequence).squeeze(-1)                 # (B, S)
+        bias = F.attention_mask_bias(span_mask, dtype=scores.dtype)
+        weights = F.softmax(scores + Tensor(bias), axis=-1)        # (B, S)
+        pooled = (sequence * weights.expand_dims(2)).sum(axis=1)   # (B, H)
+        return self.classifier(pooled)
+
+
+class MeanTokenHead(Module):
+    """JointBERT-T/CT auxiliary head: plain masked-mean token pooling."""
+
+    def __init__(self, hidden: int, num_classes: int, rng: np.random.Generator):
+        super().__init__()
+        self.classifier = Linear(hidden, num_classes, rng)
+
+    def forward(self, sequence: Tensor, span_mask: np.ndarray) -> Tensor:
+        pooled = F.mean_pool(sequence, span_mask)
+        return self.classifier(pooled)
+
+
+def gather_positions(sequence: Tensor, positions: np.ndarray) -> Tensor:
+    """Select one token vector per batch row: (B, S, H)[i, positions[i]]."""
+    batch = sequence.shape[0]
+    return sequence[np.arange(batch), positions]

@@ -1,0 +1,119 @@
+"""JointBERT (Peeters & Bizer 2021) and the paper's ablation variants.
+
+JointBERT uses the pooled ``[CLS]`` representation for all three tasks —
+the design choice the paper identifies as suboptimal.  The variants
+(Sec. 4.4) progressively relax that choice:
+
+- ``JointBertS``: the first ``[SEP]`` token represents the second record
+  for its ID head (Figure 4).
+- ``JointBertT``: averaged token representations for all three tasks.
+- ``JointBertCT``: averaged token aux heads, but [CLS] for the EM head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.loader import Batch
+from repro.models.base import EMModel, EMOutput
+from repro.models.heads import (
+    BinaryHead,
+    ClassHead,
+    MeanTokenHead,
+    gather_positions,
+)
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+def _first_sep_positions(batch: Batch) -> np.ndarray:
+    """Index of the first [SEP] for every row: right after record1's span."""
+    return 1 + batch.mask1.sum(axis=1).astype(np.int64)
+
+
+class JointBert(EMModel):
+    """Dual-objective fine-tuning with [CLS] for all three tasks."""
+
+    def __init__(self, encoder: Module, hidden: int, num_id_classes: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.encoder = encoder
+        self.em_head = BinaryHead(hidden, rng)
+        self.id1_head = ClassHead(hidden, num_id_classes, rng)
+        self.id2_head = ClassHead(hidden, num_id_classes, rng)
+
+    def forward(self, batch: Batch) -> EMOutput:
+        out = self.encoder(batch.input_ids, batch.attention_mask, batch.segment_ids)
+        return EMOutput(
+            em_logits=self.em_head(out.pooled),
+            id1_logits=self.id1_head(out.pooled),
+            id2_logits=self.id2_head(out.pooled),
+            attentions=out.attentions,
+        )
+
+
+class JointBertS(EMModel):
+    """[CLS] for EM and ID1; the first [SEP] token for ID2 (Figure 4)."""
+
+    def __init__(self, encoder: Module, hidden: int, num_id_classes: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.encoder = encoder
+        self.em_head = BinaryHead(hidden, rng)
+        self.id1_head = ClassHead(hidden, num_id_classes, rng)
+        self.id2_head = ClassHead(hidden, num_id_classes, rng)
+
+    def forward(self, batch: Batch) -> EMOutput:
+        out = self.encoder(batch.input_ids, batch.attention_mask, batch.segment_ids)
+        sep_vec = gather_positions(out.sequence, _first_sep_positions(batch))
+        return EMOutput(
+            em_logits=self.em_head(out.pooled),
+            id1_logits=self.id1_head(out.pooled),
+            id2_logits=self.id2_head(sep_vec),
+            attentions=out.attentions,
+        )
+
+
+class JointBertT(EMModel):
+    """Averaged token representations for all three tasks."""
+
+    def __init__(self, encoder: Module, hidden: int, num_id_classes: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.encoder = encoder
+        self.em_head = BinaryHead(hidden, rng)
+        self.id1_head = MeanTokenHead(hidden, num_id_classes, rng)
+        self.id2_head = MeanTokenHead(hidden, num_id_classes, rng)
+
+    def forward(self, batch: Batch) -> EMOutput:
+        out = self.encoder(batch.input_ids, batch.attention_mask, batch.segment_ids)
+        mean1 = F.mean_pool(out.sequence, batch.mask1)
+        mean2 = F.mean_pool(out.sequence, batch.mask2)
+        em_input = (mean1 + mean2) * 0.5
+        return EMOutput(
+            em_logits=self.em_head(em_input),
+            id1_logits=self.id1_head(out.sequence, batch.mask1),
+            id2_logits=self.id2_head(out.sequence, batch.mask2),
+            attentions=out.attentions,
+        )
+
+
+class JointBertCT(EMModel):
+    """Averaged-token aux heads + [CLS] EM head."""
+
+    def __init__(self, encoder: Module, hidden: int, num_id_classes: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.encoder = encoder
+        self.em_head = BinaryHead(hidden, rng)
+        self.id1_head = MeanTokenHead(hidden, num_id_classes, rng)
+        self.id2_head = MeanTokenHead(hidden, num_id_classes, rng)
+
+    def forward(self, batch: Batch) -> EMOutput:
+        out = self.encoder(batch.input_ids, batch.attention_mask, batch.segment_ids)
+        return EMOutput(
+            em_logits=self.em_head(out.pooled),
+            id1_logits=self.id1_head(out.sequence, batch.mask1),
+            id2_logits=self.id2_head(out.sequence, batch.mask2),
+            attentions=out.attentions,
+        )

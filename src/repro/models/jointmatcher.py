@@ -1,0 +1,66 @@
+"""JointMatcher analogue (Ye et al., KBS 2022).
+
+JointMatcher augments a pre-trained transformer with a *relevance-aware*
+encoder that concentrates attention on segments appearing in both
+records, and a *numerically-aware* encoder emphasizing number-bearing
+segments.  Our analogue computes the two emphasis masks directly from
+the token ids — tokens shared by both records, and digit-bearing tokens
+— attention-pools the sequence under each, and classifies the
+concatenation with the pooled [CLS] vector.  Single-task, as in the
+original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.loader import Batch
+from repro.models.base import EMModel, EMOutput
+from repro.models.ditto import informative_token_mask
+from repro.models.heads import BinaryHead
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import concat
+from repro.text.vocab import Vocabulary
+
+
+def shared_token_mask(batch: Batch) -> np.ndarray:
+    """(B, S) flag for tokens whose id occurs in *both* records' spans."""
+    result = np.zeros_like(batch.mask1)
+    for i in range(batch.input_ids.shape[0]):
+        ids1 = set(batch.input_ids[i][batch.mask1[i] > 0].tolist())
+        ids2 = set(batch.input_ids[i][batch.mask2[i] > 0].tolist())
+        shared = ids1 & ids2
+        if not shared:
+            continue
+        in_span = (batch.mask1[i] + batch.mask2[i]) > 0
+        result[i] = np.isin(batch.input_ids[i], list(shared)) & in_span
+    return result
+
+
+class JointMatcher(EMModel):
+    """Relevance-aware + numerically-aware emphasis over a transformer."""
+
+    def __init__(self, encoder: Module, hidden: int, vocab: Vocabulary,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.encoder = encoder
+        self._numeric = informative_token_mask(vocab)
+        self.relevance_proj = Linear(hidden, hidden, rng)
+        self.numeric_proj = Linear(hidden, hidden, rng)
+        self.combine = Linear(3 * hidden, hidden, rng)
+        self.em_head = BinaryHead(hidden, rng)
+
+    def forward(self, batch: Batch) -> EMOutput:
+        out = self.encoder(batch.input_ids, batch.attention_mask, batch.segment_ids)
+
+        relevant = shared_token_mask(batch)
+        numeric = self._numeric[batch.input_ids] * batch.attention_mask
+
+        relevance_vec = F.tanh(self.relevance_proj(F.mean_pool(out.sequence, relevant)))
+        numeric_vec = F.tanh(self.numeric_proj(F.mean_pool(out.sequence, numeric)))
+        features = F.tanh(
+            self.combine(concat([out.pooled, relevance_vec, numeric_vec], axis=-1))
+        )
+        return EMOutput(em_logits=self.em_head(features), attentions=out.attentions)

@@ -1,0 +1,93 @@
+"""Semi-supervised self-training (the paper's Sec. 5 future work).
+
+"A semi-supervised approach that uses a small portion of the training
+labels can be explored.  Similarly, self-learning ... may yield
+generalizable representations that improve EM performance with fewer or
+no labeled data."
+
+:func:`self_train` implements the classic self-training loop: fit on
+the labeled pool, pseudo-label the unlabeled pool where the model is
+confident on the EM task, fold the confident pseudo-labels in, and
+refit — for a fixed number of rounds or until no new pseudo-labels
+appear.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.data.loader import EncodedPair, collate
+from repro.models.base import EMModel
+from repro.models.trainer import TrainConfig, Trainer
+
+
+@dataclass
+class SelfTrainingResult:
+    """Final model plus per-round bookkeeping."""
+
+    model: EMModel
+    rounds_run: int
+    pseudo_labels_per_round: list[int] = field(default_factory=list)
+    valid_f1_per_round: list[float] = field(default_factory=list)
+
+
+def _pseudo_label(model: EMModel, unlabeled: list[EncodedPair],
+                  confidence: float, batch_size: int) -> list[EncodedPair]:
+    """Confidently-predicted copies of unlabeled pairs (EM label only)."""
+    confident: list[EncodedPair] = []
+    for start in range(0, len(unlabeled), batch_size):
+        chunk = unlabeled[start:start + batch_size]
+        probs = model.predict(collate(chunk))["em_prob"]
+        for pair, prob in zip(chunk, probs):
+            if prob >= confidence or prob <= 1.0 - confidence:
+                labeled = copy.copy(pair)
+                labeled.label = int(prob >= 0.5)
+                confident.append(labeled)
+    return confident
+
+
+def self_train(model_factory: Callable[[], EMModel],
+               labeled: list[EncodedPair], unlabeled: list[EncodedPair],
+               valid: list[EncodedPair], config: TrainConfig,
+               rounds: int = 2, confidence: float = 0.9) -> SelfTrainingResult:
+    """Iteratively expand the training pool with confident pseudo-labels.
+
+    ``model_factory`` must build a fresh model per round (self-training
+    retrains from scratch so early pseudo-label mistakes don't compound
+    through warm-started weights).
+    """
+    if not 0.5 < confidence < 1.0:
+        raise ValueError("confidence must be in (0.5, 1)")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+
+    trainer = Trainer(config)
+    model = model_factory()
+    trainer.fit(model, labeled, valid)
+    result = SelfTrainingResult(model=model, rounds_run=1)
+    result.valid_f1_per_round.append(trainer.evaluate_f1(model, valid))
+    result.pseudo_labels_per_round.append(0)
+
+    remaining = list(unlabeled)
+    pool = list(labeled)
+    for _ in range(1, rounds):
+        confident = _pseudo_label(model, remaining, confidence,
+                                  config.batch_size)
+        if not confident:
+            break
+        # Remove pseudo-labeled items from the unlabeled pool; the shallow
+        # copies share their input_ids array with the originals, so array
+        # identity links them.
+        taken = {id(c.input_ids) for c in confident}
+        remaining = [u for u in remaining if id(u.input_ids) not in taken]
+        pool = pool + confident
+
+        model = model_factory()
+        trainer.fit(model, pool, valid)
+        result.model = model
+        result.rounds_run += 1
+        result.pseudo_labels_per_round.append(len(confident))
+        result.valid_f1_per_round.append(trainer.evaluate_f1(model, valid))
+    return result

@@ -1,0 +1,30 @@
+"""Single-task transformer matchers: the BERT and RoBERTa baselines.
+
+Fine-tune the encoder with a binary head over the pooled ``[CLS]``
+vector — the standard sequence-pair classification recipe the paper's
+Figure 1b depicts.  The RoBERTa baseline is the same class backed by the
+``mini-roberta`` encoder preset (no segment embeddings, longer MLM
+pre-training).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.loader import Batch
+from repro.models.base import EMModel, EMOutput
+from repro.models.heads import BinaryHead
+from repro.nn.module import Module
+
+
+class SingleTaskMatcher(EMModel):
+    """[CLS] -> linear -> match logit; no auxiliary objectives."""
+
+    def __init__(self, encoder: Module, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.encoder = encoder
+        self.em_head = BinaryHead(hidden, rng)
+
+    def forward(self, batch: Batch) -> EMOutput:
+        out = self.encoder(batch.input_ids, batch.attention_mask, batch.segment_ids)
+        return EMOutput(em_logits=self.em_head(out.pooled), attentions=out.attentions)

@@ -1,0 +1,45 @@
+"""SurfCon-style context matcher (ablation EMBA-SurfCon).
+
+SurfCon (Wang et al., KDD 2019) scores term pairs by combining a
+sequence-level encoding with a token-level *context matching* component:
+every token of one term is softly matched to its most similar token of
+the other term, and the matched evidence is aggregated.  Here the module
+replaces EMBA's AoA while keeping the rest of the architecture fixed,
+exactly as in the paper's ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, concat
+
+
+class SurfConMatcher(Module):
+    """Bilinear soft-max matching + mean sequence encoding."""
+
+    def __init__(self, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.bilinear = Linear(hidden, hidden, rng, bias=False)
+        self.combine = Linear(2 * hidden, hidden, rng)
+
+    def forward(self, sequence: Tensor, mask1: np.ndarray, mask2: np.ndarray
+                ) -> Tensor:
+        # Token-level: each record1 token attends to record2 tokens
+        # through a bilinear form; a sharp softmax approximates SurfCon's
+        # max-pooling over the context.
+        projected = self.bilinear(sequence)                       # (B, S, H)
+        scores = sequence @ projected.swapaxes(1, 2)              # (B, S, S)
+        col_bias = F.attention_mask_bias(mask2[:, None, :], dtype=scores.dtype)
+        match = F.softmax(scores * 4.0 + Tensor(col_bias), axis=2)  # sharpened
+        matched = match @ sequence                                 # (B, S, H)
+        token_level = F.mean_pool(matched, mask1)                  # (B, H)
+
+        # Sequence-level: mean encoding of both records together.
+        both = np.asarray(mask1, dtype=np.float32) + np.asarray(mask2, dtype=np.float32)
+        seq_level = F.mean_pool(sequence, both)                    # (B, H)
+
+        return F.tanh(self.combine(concat([token_level, seq_level], axis=-1)))

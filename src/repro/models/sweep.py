@@ -1,0 +1,51 @@
+"""Learning-rate sweep (the paper's Sec. 4.2 protocol).
+
+The paper sweeps the learning rate over a fixed candidate list and keeps
+the configuration with the best validation F1.  :func:`sweep_learning_rate`
+does the same: it trains one model per candidate (from identical initial
+weights) and returns the winning model, rate, and per-candidate scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Sequence
+
+from repro.data.loader import EncodedPair
+from repro.models.base import EMModel
+from repro.models.trainer import TrainConfig, Trainer
+
+# The paper's sweep list is [1e-5 .. 1e-4] for BERT-base; mini models
+# train an order of magnitude hotter, so the default list is shifted.
+DEFAULT_CANDIDATES = (5e-4, 1e-3, 2e-3)
+
+
+def sweep_learning_rate(model_factory: Callable[[], EMModel],
+                        train: list[EncodedPair], valid: list[EncodedPair],
+                        config: TrainConfig,
+                        candidates: Sequence[float] = DEFAULT_CANDIDATES,
+                        ) -> tuple[EMModel, float, dict[float, float]]:
+    """Train one fresh model per candidate rate; keep the validation winner.
+
+    ``model_factory`` must return a freshly initialized model each call
+    (identical init given the caller's seeding), so candidates differ
+    only in the learning rate.
+
+    Returns ``(best_model, best_rate, {rate: best_valid_f1})``.
+    """
+    if not candidates:
+        raise ValueError("candidates must be non-empty")
+    scores: dict[float, float] = {}
+    best_model: EMModel | None = None
+    best_rate = float(candidates[0])
+    best_f1 = -1.0
+    for rate in candidates:
+        model = model_factory()
+        trainer = Trainer(replace(config, learning_rate=float(rate)))
+        result = trainer.fit(model, train, valid)
+        scores[float(rate)] = result.best_valid_f1
+        if result.best_valid_f1 > best_f1:
+            best_f1 = result.best_valid_f1
+            best_rate = float(rate)
+            best_model = model
+    return best_model, best_rate, scores

@@ -1,0 +1,158 @@
+"""The multi-task training loop — Algorithm 1 of the paper.
+
+Shared encoder parameters are pre-trained (BERT init); task-specific
+layers are randomly initialized.  Mini-batches are shuffled each epoch;
+each step computes the dual-objective loss (Eq. 3, delegated to the
+model's ``loss``), backpropagates, and applies Adam under a linear
+warmup-decay schedule.  Early stopping watches validation EM F1 with the
+paper's patience mechanism, and the best validation snapshot is restored
+at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.loader import EncodedPair, iter_batches
+from repro.eval.metrics import binary_f1
+from repro.models.base import EMModel
+from repro.nn.optim import Adam, clip_grad_norm_
+from repro.nn.schedules import LinearWarmupDecay
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters of a fine-tuning run (paper defaults, mini scale)."""
+
+    epochs: int = 12
+    batch_size: int = 16
+    learning_rate: float = 3e-4
+    warmup_epochs: int = 1          # "one epoch warmup"
+    patience: int = 4               # early stopping on validation F1
+    max_grad_norm: float = 1.0
+    seed: int = 0
+
+
+@dataclass
+class TrainResult:
+    """Loss/metric history of a completed run."""
+
+    train_losses: list[float] = field(default_factory=list)
+    valid_f1s: list[float] = field(default_factory=list)
+    best_valid_f1: float = 0.0
+    best_epoch: int = -1
+    epochs_run: int = 0
+
+
+class EarlyStopping:
+    """Stop when the watched metric fails to improve for ``patience`` epochs."""
+
+    def __init__(self, patience: int):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.best = -np.inf
+        self.best_epoch = -1
+        self._since_best = 0
+
+    def update(self, value: float, epoch: int) -> bool:
+        """Record an epoch metric; return True when training should stop."""
+        if value > self.best:
+            self.best = value
+            self.best_epoch = epoch
+            self._since_best = 0
+            return False
+        self._since_best += 1
+        return self._since_best >= self.patience
+
+
+class Trainer:
+    """Fits an :class:`EMModel` on encoded pairs."""
+
+    def __init__(self, config: TrainConfig | None = None):
+        self.config = config or TrainConfig()
+
+    def evaluate_f1(self, model: EMModel, encoded: list[EncodedPair],
+                    batch_size: int | None = None) -> float:
+        """EM F1 over an encoded split."""
+        if not encoded:
+            return 0.0
+        batch_size = batch_size or self.config.batch_size
+        truths, preds = [], []
+        for batch in iter_batches(encoded, batch_size):
+            out = model.predict(batch)
+            preds.append(out["em_pred"])
+            truths.append(batch.labels)
+        return binary_f1(np.concatenate(truths), np.concatenate(preds))
+
+    def fit(self, model: EMModel, train: list[EncodedPair],
+            valid: list[EncodedPair]) -> TrainResult:
+        """Train with Algorithm 1 and restore the best validation state."""
+        cfg = self.config
+        if not train:
+            raise ValueError("empty training set")
+        rng = np.random.default_rng(cfg.seed)
+
+        steps_per_epoch = max(1, (len(train) + cfg.batch_size - 1) // cfg.batch_size)
+        total_steps = steps_per_epoch * cfg.epochs
+        optimizer = Adam(model.parameters(), lr=cfg.learning_rate)
+        schedule = LinearWarmupDecay(
+            optimizer, peak_lr=cfg.learning_rate,
+            warmup_steps=steps_per_epoch * cfg.warmup_epochs,
+            total_steps=total_steps,
+        )
+        stopper = EarlyStopping(cfg.patience)
+        result = TrainResult()
+        best_state = model.state_dict()
+
+        for epoch in range(cfg.epochs):
+            model.train()
+            epoch_losses = []
+            for batch in iter_batches(train, cfg.batch_size, rng=rng):
+                output = model(batch)
+                loss = model.loss(output, batch)
+                model.zero_grad()
+                loss.backward()
+                clip_grad_norm_(model.parameters(), cfg.max_grad_norm)
+                optimizer.step()
+                schedule.step()
+                epoch_losses.append(float(loss.data))
+            result.train_losses.append(float(np.mean(epoch_losses)))
+
+            valid_f1 = self.evaluate_f1(model, valid) if valid else 0.0
+            result.valid_f1s.append(valid_f1)
+            result.epochs_run = epoch + 1
+            if not valid:
+                # No validation set: the final weights win.
+                best_state = model.state_dict()
+                continue
+            if valid_f1 > stopper.best:
+                best_state = model.state_dict()
+            if stopper.update(valid_f1, epoch):
+                break
+
+        model.load_state_dict(best_state)
+        model.eval()
+        result.best_valid_f1 = max(result.valid_f1s) if result.valid_f1s else 0.0
+        result.best_epoch = stopper.best_epoch
+        return result
+
+    def predict_all(self, model: EMModel, encoded: list[EncodedPair]
+                    ) -> dict[str, np.ndarray]:
+        """Concatenated predictions over a split (em + id heads)."""
+        collected: dict[str, list[np.ndarray]] = {}
+        labels, id1, id2 = [], [], []
+        for batch in iter_batches(encoded, self.config.batch_size):
+            out = model.predict(batch)
+            for key, value in out.items():
+                collected.setdefault(key, []).append(value)
+            labels.append(batch.labels)
+            id1.append(batch.id1)
+            id2.append(batch.id2)
+        result = {k: np.concatenate(v) for k, v in collected.items()}
+        result["labels"] = np.concatenate(labels)
+        result["id1"] = np.concatenate(id1)
+        result["id2"] = np.concatenate(id2)
+        return result

@@ -1,0 +1,161 @@
+"""Neural-network functional ops built on :class:`repro.nn.tensor.Tensor`.
+
+Each op either composes differentiable Tensor primitives or registers a
+custom backward closure for numerical stability (softmax, log-softmax,
+layer norm).  All ops are gradient-checked in ``tests/test_nn_functional``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+_SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis`` with a fused backward."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            # dL/dx = s * (g - sum(g * s))
+            inner = (grad * out).sum(axis=axis, keepdims=True)
+            x._accumulate(out * (grad - inner))
+
+    return x._make_child(out.astype(x.dtype), (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax with a fused backward."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_sum
+    softmax_out = np.exp(out)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad - softmax_out * grad.sum(axis=axis, keepdims=True))
+
+    return x._make_child(out.astype(x.dtype), (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as in BERT)."""
+    x3 = x.data ** 3
+    inner = _SQRT_2_OVER_PI * (x.data + 0.044715 * x3)
+    tanh_inner = np.tanh(inner)
+    out = 0.5 * x.data * (1.0 + tanh_inner)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            sech2 = 1.0 - tanh_inner * tanh_inner
+            d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x.data * x.data)
+            x._accumulate(grad * (0.5 * (1.0 + tanh_inner) + 0.5 * x.data * sech2 * d_inner))
+
+    return x._make_child(out.astype(x.dtype), (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last axis with affine transform.
+
+    Implemented with a fused backward for the normalization itself; the
+    affine part composes ordinary Tensor ops so ``weight``/``bias`` get
+    their gradients through the tape.
+    """
+    mean = x.data.mean(axis=-1, keepdims=True)
+    centered = x.data - mean
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normalized = centered * inv_std
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            n = x.shape[-1]
+            g_sum = grad.sum(axis=-1, keepdims=True)
+            gx_sum = (grad * normalized).sum(axis=-1, keepdims=True)
+            x._accumulate(inv_std * (grad - g_sum / n - normalized * gx_sum / n))
+
+    norm = x._make_child(normalized.astype(x.dtype), (x,), backward)
+    return norm * weight + bias
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-p)`` at train time."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+    return x * Tensor(mask)
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` at integer ``indices`` (scatter-add backward)."""
+    indices = np.asarray(indices)
+    data = weight.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, indices.reshape(-1), grad.reshape(-1, weight.shape[-1]))
+            weight._accumulate(full)
+
+    return weight._make_child(data, (weight,), backward)
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Replace entries where ``mask`` is true with ``value`` (no grad there)."""
+    mask = np.asarray(mask, dtype=bool)
+    data = np.where(mask, np.asarray(value, dtype=x.dtype), x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(np.where(mask, 0.0, grad).astype(x.dtype))
+
+    return x._make_child(data.astype(x.dtype), (x,), backward)
+
+
+def attention_mask_bias(mask: np.ndarray, dtype=np.float32, neg: float = -1e9) -> np.ndarray:
+    """Convert a boolean keep-mask (1 = attend) into an additive bias array."""
+    mask = np.asarray(mask)
+    return np.where(mask.astype(bool), 0.0, neg).astype(dtype)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (PyTorch weight layout)."""
+    out = x.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def mean_pool(x: Tensor, mask: np.ndarray, axis: int = 1, eps: float = 1e-9) -> Tensor:
+    """Masked mean over ``axis``: the average of rows where mask == 1.
+
+    ``mask`` has shape ``x.shape[:axis+1]`` (e.g. ``(batch, seq)`` for
+    ``(batch, seq, hidden)`` input).
+    """
+    mask = np.asarray(mask, dtype=x.dtype.type)
+    expanded = Tensor(np.expand_dims(mask, -1))
+    summed = (x * expanded).sum(axis=axis)
+    counts = Tensor(np.maximum(mask.sum(axis=axis, keepdims=True), eps))
+    return summed / counts

@@ -1,0 +1,105 @@
+"""Concrete layers: Linear, Embedding, LayerNorm, Dropout, Sequential."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W.T + b`` with Kaiming-uniform default init."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 bias: bool = True, dtype=None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        bound = 1.0 / math.sqrt(in_features)
+        self.weight = Parameter(
+            rng.uniform(-bound, bound, size=(out_features, in_features)), dtype=dtype
+        )
+        if bias:
+            self.bias = Parameter(rng.uniform(-bound, bound, size=(out_features,)), dtype=dtype)
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+
+class Embedding(Module):
+    """Index-to-vector lookup table with normal(0, 0.02) init."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, rng: np.random.Generator,
+                 padding_idx: int | None = None, dtype=None):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.padding_idx = padding_idx
+        weight = rng.normal(0.0, 0.02, size=(num_embeddings, embedding_dim))
+        if padding_idx is not None:
+            weight[padding_idx] = 0.0
+        self.weight = Parameter(weight, dtype=dtype)
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        return F.embedding(self.weight, indices)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5, dtype=None):
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape), dtype=dtype)
+        self.bias = Parameter(np.zeros(normalized_shape), dtype=dtype)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout, active only in training mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self.rng)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._items: list[Module] = []
+        for i, module in enumerate(modules):
+            setattr(self, f"layer{i}", module)
+            self._items.append(module)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def forward(self, x):
+        for module in self._items:
+            x = module(x)
+        return x

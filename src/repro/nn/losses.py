@@ -1,0 +1,58 @@
+"""Loss functions used by the EMBA dual objective (Eq. 3 in the paper).
+
+- :func:`binary_cross_entropy_with_logits` for the main EM task (BCEL).
+- :func:`cross_entropy` for the two entity-ID prediction tasks (CEL).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,
+                                     pos_weight: float | None = None) -> Tensor:
+    """Numerically-stable BCE on raw logits, averaged over the batch.
+
+    Uses the identity ``max(x, 0) - x*t + log(1 + exp(-|x|))``.
+    ``pos_weight`` multiplies the positive-class term (used by
+    DeepMatcher's positive/negative ratio weighting).
+    """
+    targets = np.asarray(targets, dtype=logits.dtype.type)
+    if targets.shape != logits.shape:
+        targets = targets.reshape(logits.shape)
+
+    x = logits.data
+    stable = np.maximum(x, 0.0) - x * targets + np.log1p(np.exp(-np.abs(x)))
+    if pos_weight is not None:
+        weights = np.where(targets > 0.5, pos_weight, 1.0)
+    else:
+        weights = np.ones_like(targets)
+    out = float((stable * weights).mean())
+
+    def backward(grad: np.ndarray) -> None:
+        if logits.requires_grad:
+            sig = 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+            d = weights * (sig - targets) / targets.size
+            logits._accumulate(grad * d)
+
+    return logits._make_child(
+        np.asarray(out, dtype=logits.dtype), (logits,), backward
+    )
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Negative log likelihood over log-probabilities, averaged over batch."""
+    targets = np.asarray(targets, dtype=np.int64)
+    batch = log_probs.shape[0]
+    if targets.shape != (batch,):
+        raise ValueError(f"targets shape {targets.shape} != ({batch},)")
+    picked = log_probs[np.arange(batch), targets]
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Softmax cross-entropy over the last axis, averaged over the batch."""
+    return nll_loss(F.log_softmax(logits, axis=-1), targets)

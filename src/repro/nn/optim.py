@@ -1,0 +1,101 @@
+"""Optimizers: SGD and Adam, plus gradient clipping.
+
+The paper trains every model with Adam; SGD is kept for tests and as a
+sanity baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def clip_grad_norm_(parameters: list[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.
+    """
+    total = 0.0
+    grads = [p.grad for p in parameters if p.grad is not None]
+    for g in grads:
+        total += float((g.astype(np.float64) ** 2).sum())
+    norm = math.sqrt(total)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for g in grads:
+            g *= scale
+    return norm
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list and a mutable learning rate."""
+
+    def __init__(self, parameters: list[Tensor], lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer constructed with no parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: list[Tensor], lr: float, momentum: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction and decoupled weight decay (AdamW-style)."""
+
+    def __init__(self, parameters: list[Tensor], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step += 1
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * p.data
+            p.data -= self.lr * update

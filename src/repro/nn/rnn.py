@@ -1,0 +1,80 @@
+"""Gated recurrent unit layers.
+
+DeepMatcher's attribute summarizer is built on recurrent networks; we use
+a GRU (the standard DeepMatcher "hybrid" configuration also defaults to a
+bidirectional GRU for its RNN components).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, concat, stack
+
+
+class GRUCell(Module):
+    """Single GRU step: returns the next hidden state."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.gates_x = Linear(input_size, 3 * hidden_size, rng)
+        self.gates_h = Linear(hidden_size, 3 * hidden_size, rng)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        gx = self.gates_x(x)
+        gh = self.gates_h(h)
+        hs = self.hidden_size
+        reset = F.sigmoid(gx[:, :hs] + gh[:, :hs])
+        update = F.sigmoid(gx[:, hs:2 * hs] + gh[:, hs:2 * hs])
+        candidate = F.tanh(gx[:, 2 * hs:] + reset * gh[:, 2 * hs:])
+        return update * h + (1.0 - update) * candidate
+
+
+class GRU(Module):
+    """Unidirectional or bidirectional GRU over a padded batch.
+
+    Input: ``(batch, seq, input_size)`` plus a ``(batch, seq)`` 0/1 mask.
+    Output: per-step hidden states ``(batch, seq, H)`` (``2H`` if
+    bidirectional) and the final state.  Padded steps carry the previous
+    hidden state forward so the final state reflects the true sequence end.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator,
+                 bidirectional: bool = False):
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.bidirectional = bidirectional
+        self.forward_cell = GRUCell(input_size, hidden_size, rng)
+        if bidirectional:
+            self.backward_cell = GRUCell(input_size, hidden_size, rng)
+
+    def _run(self, cell: GRUCell, x: Tensor, mask: np.ndarray, reverse: bool) -> list[Tensor]:
+        batch, seq = mask.shape
+        h = Tensor(np.zeros((batch, self.hidden_size), dtype=x.dtype))
+        steps: list[Tensor] = [None] * seq
+        order = range(seq - 1, -1, -1) if reverse else range(seq)
+        for t in order:
+            x_t = x[:, t, :]
+            h_next = cell(x_t, h)
+            keep = Tensor(mask[:, t:t + 1].astype(x.dtype.type))
+            h = keep * h_next + (1.0 - keep) * h
+            steps[t] = h
+        return steps
+
+    def forward(self, x: Tensor, mask: np.ndarray) -> tuple[Tensor, Tensor]:
+        mask = np.asarray(mask)
+        fwd_steps = self._run(self.forward_cell, x, mask, reverse=False)
+        if not self.bidirectional:
+            outputs = stack(fwd_steps, axis=1)
+            return outputs, fwd_steps[-1]
+        bwd_steps = self._run(self.backward_cell, x, mask, reverse=True)
+        outputs = concat(
+            [stack(fwd_steps, axis=1), stack(bwd_steps, axis=1)], axis=-1
+        )
+        final = concat([fwd_steps[-1], bwd_steps[0]], axis=-1)
+        return outputs, final

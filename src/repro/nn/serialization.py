@@ -1,0 +1,35 @@
+"""State-dict persistence as ``.npz`` archives.
+
+Used by the BERT pre-training cache so that expensive MLM pre-training
+runs once per (config, corpus) pair and is reused across experiments.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state_dict(module: Module, path: str | Path) -> None:
+    """Write a module's parameters to ``path`` (npz, atomic rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    state = module.state_dict()
+    # Write through a file handle: np.savez would otherwise append ".npz"
+    # to the temporary name and break the atomic rename.
+    with open(tmp, "wb") as handle:
+        np.savez(handle, **state)
+    os.replace(tmp, path)
+
+
+def load_state_dict(module: Module, path: str | Path, strict: bool = True) -> None:
+    """Load parameters saved by :func:`save_state_dict` into ``module``."""
+    path = Path(path)
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state, strict=strict)

@@ -1,0 +1,40 @@
+"""repro.text — tokenization substrate.
+
+Implements the text pipeline HuggingFace provides in the original EMBA:
+normalization, vocabulary management, a trainable WordPiece tokenizer
+(greedy longest-match-first with ``##`` continuation pieces), the special
+tokens used by BERT-style EM serialization, and the hashed character
+n-gram featurizer backing the fastText variant.
+"""
+
+from repro.text.normalize import basic_tokenize, normalize_text
+from repro.text.special_tokens import (
+    CLS_TOKEN,
+    COL_TOKEN,
+    MASK_TOKEN,
+    PAD_TOKEN,
+    SEP_TOKEN,
+    SPECIAL_TOKENS,
+    UNK_TOKEN,
+    VAL_TOKEN,
+)
+from repro.text.subword import SubwordHasher
+from repro.text.vocab import Vocabulary
+from repro.text.wordpiece import WordPieceTokenizer, train_wordpiece
+
+__all__ = [
+    "CLS_TOKEN",
+    "COL_TOKEN",
+    "MASK_TOKEN",
+    "PAD_TOKEN",
+    "SEP_TOKEN",
+    "SPECIAL_TOKENS",
+    "SubwordHasher",
+    "UNK_TOKEN",
+    "VAL_TOKEN",
+    "Vocabulary",
+    "WordPieceTokenizer",
+    "basic_tokenize",
+    "normalize_text",
+    "train_wordpiece",
+]

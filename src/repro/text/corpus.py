@@ -1,0 +1,33 @@
+"""Pre-training corpus construction.
+
+The original EMBA starts from BERT weights pre-trained on a general
+corpus.  We emulate that by pre-training the mini encoders with MLM on
+the pool of entity descriptions from the benchmark datasets — the same
+"domain text, no pair labels" signal self-supervised pre-training
+provides.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.data.schema import EMDataset
+
+
+def build_corpus(datasets: Iterable[EMDataset]) -> list[str]:
+    """Deduplicated entity-description texts across datasets (train+valid).
+
+    Test descriptions are excluded so pre-training never sees held-out
+    surface forms paired together (they still share the vocabulary, as in
+    any real pre-trained-model setup).
+    """
+    seen: set[str] = set()
+    corpus: list[str] = []
+    for dataset in datasets:
+        for pair in dataset.train + dataset.valid:
+            for record in (pair.record1, pair.record2):
+                text = record.text()
+                if text and text not in seen:
+                    seen.add(text)
+                    corpus.append(text)
+    return corpus

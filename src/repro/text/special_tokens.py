@@ -1,0 +1,25 @@
+"""Special tokens shared by the tokenizer, serializers, and models.
+
+``[CLS]``/``[SEP]`` frame the BERT sequence-pair input; ``[PAD]`` and
+``[MASK]`` serve batching and MLM pre-training; ``[COL]``/``[VAL]`` are
+DITTO's structural tags for attribute delimiting.
+"""
+
+PAD_TOKEN = "[PAD]"
+UNK_TOKEN = "[UNK]"
+CLS_TOKEN = "[CLS]"
+SEP_TOKEN = "[SEP]"
+MASK_TOKEN = "[MASK]"
+COL_TOKEN = "[COL]"
+VAL_TOKEN = "[VAL]"
+
+# Order fixes the ids of the special tokens at the head of every vocab.
+SPECIAL_TOKENS = (
+    PAD_TOKEN,
+    UNK_TOKEN,
+    CLS_TOKEN,
+    SEP_TOKEN,
+    MASK_TOKEN,
+    COL_TOKEN,
+    VAL_TOKEN,
+)

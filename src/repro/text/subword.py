@@ -1,0 +1,62 @@
+"""Hashed character n-gram featurizer (the fastText subword scheme).
+
+fastText represents a word as the sum of embeddings of its character
+n-grams (with boundary markers ``<`` and ``>``), each mapped to a bucket
+by hashing.  :class:`SubwordHasher` reproduces that scheme with the FNV-1a
+hash fastText uses.
+"""
+
+from __future__ import annotations
+
+from repro.text.normalize import basic_tokenize
+
+_FNV_PRIME = 0x01000193
+_FNV_OFFSET = 0x811C9DC5
+
+
+def fnv1a(text: str) -> int:
+    """32-bit FNV-1a hash (the hash fastText uses for n-gram buckets)."""
+    value = _FNV_OFFSET
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * _FNV_PRIME) & 0xFFFFFFFF
+    return value
+
+
+class SubwordHasher:
+    """Map words to hashed character-n-gram bucket ids.
+
+    Parameters
+    ----------
+    num_buckets:
+        Size of the hash embedding table.
+    min_n, max_n:
+        Range of character n-gram lengths (fastText defaults: 3..6).
+    """
+
+    def __init__(self, num_buckets: int = 4096, min_n: int = 3, max_n: int = 5):
+        if min_n < 1 or max_n < min_n:
+            raise ValueError("require 1 <= min_n <= max_n")
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be positive")
+        self.num_buckets = num_buckets
+        self.min_n = min_n
+        self.max_n = max_n
+
+    def ngrams(self, word: str) -> list[str]:
+        """Boundary-marked character n-grams plus the full word itself."""
+        marked = f"<{word}>"
+        grams = [marked]
+        for n in range(self.min_n, self.max_n + 1):
+            if n >= len(marked):
+                continue
+            grams.extend(marked[i:i + n] for i in range(len(marked) - n + 1))
+        return grams
+
+    def word_buckets(self, word: str) -> list[int]:
+        """Hash bucket ids for a word's n-grams (deterministic)."""
+        return [fnv1a(g) % self.num_buckets for g in self.ngrams(word)]
+
+    def text_buckets(self, text: str) -> list[list[int]]:
+        """Per-word bucket lists for a whole text."""
+        return [self.word_buckets(w) for w in basic_tokenize(text)]

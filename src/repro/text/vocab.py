@@ -1,0 +1,71 @@
+"""Vocabulary: a bidirectional token <-> id mapping with special tokens."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.text.special_tokens import PAD_TOKEN, SPECIAL_TOKENS, UNK_TOKEN
+
+
+class Vocabulary:
+    """Immutable-after-construction token table.
+
+    Special tokens always occupy the first ids in :data:`SPECIAL_TOKENS`
+    order, so ``pad_id == 0`` everywhere in the library.
+    """
+
+    def __init__(self, tokens: Iterable[str]):
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        for token in SPECIAL_TOKENS:
+            self._add(token)
+        for token in tokens:
+            self._add(token)
+
+    def _add(self, token: str) -> None:
+        if token not in self._token_to_id:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def token_to_id(self, token: str) -> int:
+        """Map token to id, falling back to ``[UNK]``."""
+        return self._token_to_id.get(token, self._token_to_id[UNK_TOKEN])
+
+    def id_to_token(self, index: int) -> str:
+        return self._id_to_token[index]
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK_TOKEN]
+
+    def special_ids(self) -> set[int]:
+        return {self._token_to_id[t] for t in SPECIAL_TOKENS}
+
+    def tokens(self) -> list[str]:
+        """All tokens in id order (including the specials)."""
+        return list(self._id_to_token)
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self._id_to_token), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Vocabulary":
+        tokens = json.loads(Path(path).read_text(encoding="utf-8"))
+        specials = set(SPECIAL_TOKENS)
+        return cls(t for t in tokens if t not in specials)

@@ -1,0 +1,169 @@
+"""Trainable WordPiece tokenizer.
+
+Training follows the WordPiece criterion: starting from a character
+alphabet (continuation pieces prefixed with ``##``), repeatedly merge the
+adjacent symbol pair that maximizes ``count(ab) / (count(a) * count(b))``
+until the requested vocabulary size is reached.  Encoding is BERT's
+greedy longest-match-first algorithm with an ``[UNK]`` fallback.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable
+
+from repro.text.normalize import basic_tokenize
+from repro.text.special_tokens import SPECIAL_TOKENS, UNK_TOKEN
+from repro.text.vocab import Vocabulary
+
+# Split out special tokens before normalization so serializer-inserted
+# structural tags ([COL], [VAL], ...) survive tokenization intact.
+_SPECIAL_SPLIT = re.compile(
+    "(" + "|".join(re.escape(t) for t in SPECIAL_TOKENS) + ")"
+)
+
+_MAX_CHARS_PER_WORD = 64
+
+
+def _word_to_symbols(word: str) -> tuple[str, ...]:
+    """Split a word into its initial WordPiece symbols (char-level)."""
+    return tuple([word[0]] + [f"##{c}" for c in word[1:]])
+
+
+def _merge_symbols(a: str, b: str) -> str:
+    """Concatenate two symbols, keeping a single ``##`` marker."""
+    return a + b.removeprefix("##")
+
+
+def train_wordpiece(texts: Iterable[str], vocab_size: int,
+                    min_frequency: int = 2) -> Vocabulary:
+    """Learn a WordPiece vocabulary of at most ``vocab_size`` entries.
+
+    Parameters
+    ----------
+    texts:
+        Training corpus (each item is normalized and pre-tokenized).
+    vocab_size:
+        Target total vocabulary size, including the special tokens and the
+        character alphabet.
+    min_frequency:
+        Pairs rarer than this are never merged.
+    """
+    if vocab_size <= len(SPECIAL_TOKENS):
+        raise ValueError(f"vocab_size must exceed {len(SPECIAL_TOKENS)} special tokens")
+
+    word_counts: Counter[str] = Counter()
+    for text in texts:
+        word_counts.update(basic_tokenize(text))
+
+    # Words as mutable symbol sequences, weighted by corpus frequency.
+    words: list[list[str]] = []
+    freqs: list[int] = []
+    for word, count in word_counts.items():
+        words.append(list(_word_to_symbols(word)))
+        freqs.append(count)
+
+    symbols: Counter[str] = Counter()
+    for word, freq in zip(words, freqs):
+        for s in word:
+            symbols[s] += freq
+    vocab_tokens: list[str] = sorted(symbols)
+
+    budget = vocab_size - len(SPECIAL_TOKENS) - len(vocab_tokens)
+    while budget > 0:
+        pair_counts: Counter[tuple[str, str]] = Counter()
+        for word, freq in zip(words, freqs):
+            for a, b in zip(word, word[1:]):
+                pair_counts[(a, b)] += freq
+        # min_frequency FILTERS candidates (as in HuggingFace's trainer):
+        # the WordPiece score favours rare-symbol pairs, so a count-1 pair
+        # can outscore frequent ones and must not end training.
+        candidates = {p: c for p, c in pair_counts.items() if c >= min_frequency}
+        if not candidates:
+            break
+
+        def score(item: tuple[tuple[str, str], int]) -> tuple[float, int, tuple[str, str]]:
+            (a, b), count = item
+            # WordPiece likelihood gain; deterministic tie-breaks.
+            return (count / (symbols[a] * symbols[b]), count, (a, b))
+
+        (best_a, best_b), best_count = max(candidates.items(), key=score)
+        merged = _merge_symbols(best_a, best_b)
+        vocab_tokens.append(merged)
+        budget -= 1
+
+        for word, freq in zip(words, freqs):
+            i = 0
+            while i < len(word) - 1:
+                if word[i] == best_a and word[i + 1] == best_b:
+                    symbols[best_a] -= freq
+                    symbols[best_b] -= freq
+                    symbols[merged] += freq
+                    word[i:i + 2] = [merged]
+                else:
+                    i += 1
+
+    return Vocabulary(vocab_tokens)
+
+
+class WordPieceTokenizer:
+    """Greedy longest-match-first WordPiece encoder over a vocabulary."""
+
+    def __init__(self, vocab: Vocabulary):
+        self.vocab = vocab
+
+    def tokenize_word(self, word: str) -> list[str]:
+        """Split one pre-token into WordPiece symbols (or ``[UNK]``)."""
+        if len(word) > _MAX_CHARS_PER_WORD:
+            return [UNK_TOKEN]
+        pieces: list[str] = []
+        start = 0
+        while start < len(word):
+            end = len(word)
+            piece = None
+            while start < end:
+                candidate = word[start:end]
+                if start > 0:
+                    candidate = f"##{candidate}"
+                if candidate in self.vocab:
+                    piece = candidate
+                    break
+                end -= 1
+            if piece is None:
+                return [UNK_TOKEN]
+            pieces.append(piece)
+            start = end
+        return pieces
+
+    def tokenize(self, text: str) -> list[str]:
+        """Normalize, pre-tokenize, and WordPiece-split ``text``.
+
+        Special tokens embedded in the text (e.g. DITTO's ``[COL]`` and
+        ``[VAL]`` serialization tags) are preserved as single pieces.
+        """
+        pieces: list[str] = []
+        for chunk in _SPECIAL_SPLIT.split(text):
+            if not chunk:
+                continue
+            if chunk in SPECIAL_TOKENS:
+                pieces.append(chunk)
+                continue
+            for word in basic_tokenize(chunk):
+                pieces.extend(self.tokenize_word(word))
+        return pieces
+
+    def encode(self, text: str) -> list[int]:
+        """Token ids for ``text`` (no special tokens added)."""
+        return [self.vocab.token_to_id(p) for p in self.tokenize(text)]
+
+    def decode(self, ids: Iterable[int]) -> str:
+        """Best-effort inverse of :meth:`encode` (joins ``##`` pieces)."""
+        words: list[str] = []
+        for i in ids:
+            token = self.vocab.id_to_token(i)
+            if token.startswith("##") and words:
+                words[-1] += token[2:]
+            else:
+                words.append(token)
+        return " ".join(words)

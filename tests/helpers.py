@@ -1,0 +1,46 @@
+"""Shared test utilities: finite-difference gradient checking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numeric_gradient(fn, value: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``fn`` at ``value``."""
+    value = np.asarray(value, dtype=np.float64)
+    grad = np.zeros_like(value)
+    flat = value.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(value.copy())
+        flat[i] = original - eps
+        minus = fn(value.copy())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_fn, shape, rng, atol: float = 1e-5, rtol: float = 1e-4,
+                   low: float = -1.0, high: float = 1.0) -> None:
+    """Assert autodiff gradient matches finite differences.
+
+    ``build_fn(tensor) -> Tensor`` must produce a scalar from a float64
+    input tensor with requires_grad=True.
+    """
+    value = rng.uniform(low, high, size=shape)
+    x = Tensor(value, requires_grad=True, dtype=np.float64)
+    out = build_fn(x)
+    assert out.size == 1, "gradient check requires a scalar output"
+    out.backward()
+    analytic = x.grad
+
+    def scalar_fn(v: np.ndarray) -> float:
+        t = Tensor(v, requires_grad=False, dtype=np.float64)
+        return float(build_fn(t).data)
+
+    numeric = numeric_gradient(scalar_fn, value)
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)

@@ -1,0 +1,217 @@
+"""Tests for the from-scratch BERT substrate."""
+
+import numpy as np
+import pytest
+
+from repro.bert.attention import MultiHeadSelfAttention
+from repro.bert.cache import pretrained_bert
+from repro.bert.config import PRESETS, BertConfig
+from repro.bert.embeddings import BertEmbeddings
+from repro.bert.mlm import IGNORE_INDEX, BertForMaskedLM, mask_tokens
+from repro.bert.model import BertModel
+from repro.bert.pretrain import pretrain
+from repro.nn.tensor import Tensor
+from repro.text import WordPieceTokenizer, train_wordpiece
+
+RNG = np.random.default_rng(5)
+
+SMALL = BertConfig(vocab_size=64, hidden_size=16, num_layers=2, num_heads=2,
+                   intermediate_size=32, max_position=32, dropout=0.0,
+                   attention_dropout=0.0)
+
+CORPUS = [
+    "sandisk ultra compactflash card 4gb retail",
+    "transcend compactflash card 4gb industrial grade",
+    "samsung 850 evo 1tb ssd retail box",
+    "kingston datatraveler usb flash drive 16gb",
+    "corsair vengeance 8gb ddr4 ram module",
+] * 3
+
+
+class TestConfig:
+    def test_presets_exist(self):
+        assert set(PRESETS) == {"mini-base", "mini-small", "mini-distil", "mini-roberta"}
+
+    def test_preset_relationships(self):
+        base, small = PRESETS["mini-base"], PRESETS["mini-small"]
+        distil, roberta = PRESETS["mini-distil"], PRESETS["mini-roberta"]
+        assert small.hidden_size < base.hidden_size
+        assert distil.num_layers < base.num_layers
+        assert distil.hidden_size == base.hidden_size
+        assert not roberta.use_segment_embeddings
+        assert roberta.pretrain_steps > base.pretrain_steps
+
+    def test_head_divisibility_validated(self):
+        with pytest.raises(ValueError):
+            BertConfig(hidden_size=10, num_heads=3)
+
+    def test_with_vocab(self):
+        cfg = SMALL.with_vocab(999)
+        assert cfg.vocab_size == 999
+        assert cfg.hidden_size == SMALL.hidden_size
+
+    def test_parameter_count_ordering(self):
+        def count(preset):
+            cfg = PRESETS[preset].with_vocab(300)
+            return BertModel(cfg, np.random.default_rng(0)).num_parameters()
+
+        assert count("mini-small") < count("mini-distil") < count("mini-base")
+
+
+class TestEmbeddings:
+    def test_shapes(self):
+        emb = BertEmbeddings(SMALL, RNG)
+        out = emb(np.zeros((2, 10), dtype=np.int64), np.zeros((2, 10), dtype=np.int64))
+        assert out.shape == (2, 10, 16)
+
+    def test_too_long_raises(self):
+        emb = BertEmbeddings(SMALL, RNG)
+        with pytest.raises(ValueError):
+            emb(np.zeros((1, 100), dtype=np.int64))
+
+    def test_segments_matter(self):
+        emb = BertEmbeddings(SMALL, RNG)
+        emb.eval()
+        ids = np.ones((1, 4), dtype=np.int64)
+        a = emb(ids, np.zeros((1, 4), dtype=np.int64)).data
+        b = emb(ids, np.ones((1, 4), dtype=np.int64)).data
+        assert not np.allclose(a, b)
+
+    def test_no_segment_config(self):
+        cfg = BertConfig(vocab_size=64, hidden_size=16, num_heads=2,
+                         use_segment_embeddings=False, dropout=0.0)
+        emb = BertEmbeddings(cfg, RNG)
+        ids = np.ones((1, 4), dtype=np.int64)
+        a = emb(ids, np.zeros((1, 4), dtype=np.int64)).data
+        b = emb(ids, np.ones((1, 4), dtype=np.int64)).data
+        np.testing.assert_allclose(a, b)
+
+
+class TestAttention:
+    def test_output_shape_and_probs(self):
+        attn = MultiHeadSelfAttention(SMALL, RNG)
+        attn.eval()
+        x = Tensor(RNG.normal(size=(2, 6, 16)).astype(np.float32))
+        out, probs = attn(x, np.ones((2, 6)))
+        assert out.shape == (2, 6, 16)
+        assert probs.shape == (2, 2, 6, 6)
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones((2, 2, 6)), rtol=1e-5)
+
+    def test_masked_positions_get_no_attention(self):
+        attn = MultiHeadSelfAttention(SMALL, RNG)
+        attn.eval()
+        x = Tensor(RNG.normal(size=(1, 5, 16)).astype(np.float32))
+        mask = np.array([[1, 1, 1, 0, 0]])
+        _, probs = attn(x, mask)
+        np.testing.assert_allclose(probs[..., 3:], 0.0, atol=1e-7)
+
+    def test_gradients_flow(self):
+        attn = MultiHeadSelfAttention(SMALL, RNG)
+        x = Tensor(RNG.normal(size=(1, 4, 16)).astype(np.float32), requires_grad=True)
+        out, _ = attn(x, np.ones((1, 4)))
+        out.sum().backward()
+        assert x.grad is not None
+        assert attn.query.weight.grad is not None
+
+
+class TestBertModel:
+    def test_forward_shapes(self):
+        model = BertModel(SMALL, RNG)
+        model.eval()
+        out = model(np.ones((3, 8), dtype=np.int64), np.ones((3, 8)),
+                    np.zeros((3, 8), dtype=np.int64))
+        assert out.sequence.shape == (3, 8, 16)
+        assert out.pooled.shape == (3, 16)
+        assert len(out.attentions) == SMALL.num_layers
+
+    def test_padding_does_not_change_real_positions(self):
+        model = BertModel(SMALL, RNG)
+        model.eval()
+        ids = np.array([[2, 5, 6, 3]], dtype=np.int64)
+        short = model(ids, np.ones((1, 4)))
+        padded_ids = np.concatenate([ids, np.zeros((1, 3), dtype=np.int64)], axis=1)
+        mask = np.array([[1, 1, 1, 1, 0, 0, 0]], dtype=np.float32)
+        long = model(padded_ids, mask)
+        np.testing.assert_allclose(
+            short.sequence.data, long.sequence.data[:, :4, :], atol=1e-5
+        )
+
+    def test_deterministic_with_seed(self):
+        a = BertModel(SMALL, np.random.default_rng(0))
+        b = BertModel(SMALL, np.random.default_rng(0))
+        x = np.ones((1, 4), dtype=np.int64)
+        a.eval(), b.eval()
+        np.testing.assert_allclose(a(x, np.ones((1, 4))).pooled.data,
+                                   b(x, np.ones((1, 4))).pooled.data)
+
+
+class TestMasking:
+    def test_mask_rate_approximate(self):
+        rng = np.random.default_rng(0)
+        ids = np.full((20, 50), 10, dtype=np.int64)
+        masked, labels = mask_tokens(ids, 64, mask_id=4, rng=rng, special_ids={0, 1, 2, 3, 4})
+        rate = (labels != IGNORE_INDEX).mean()
+        assert 0.10 < rate < 0.20
+
+    def test_specials_never_masked(self):
+        rng = np.random.default_rng(0)
+        ids = np.full((10, 20), 2, dtype=np.int64)  # all [CLS]
+        masked, labels = mask_tokens(ids, 64, 4, rng, special_ids={0, 1, 2, 3, 4})
+        assert (labels == IGNORE_INDEX).all()
+        np.testing.assert_array_equal(masked, ids)
+
+    def test_labels_preserve_original(self):
+        rng = np.random.default_rng(0)
+        ids = np.full((5, 40), 17, dtype=np.int64)
+        _, labels = mask_tokens(ids, 64, 4, rng, special_ids={0})
+        changed = labels != IGNORE_INDEX
+        assert (labels[changed] == 17).all()
+
+    def test_most_masked_become_mask_token(self):
+        rng = np.random.default_rng(0)
+        ids = np.full((20, 50), 10, dtype=np.int64)
+        masked, labels = mask_tokens(ids, 64, 4, rng, special_ids={0},
+                                     mlm_probability=0.5)
+        positions = labels != IGNORE_INDEX
+        frac_mask = (masked[positions] == 4).mean()
+        assert 0.7 < frac_mask < 0.9
+
+
+class TestPretraining:
+    @pytest.fixture(scope="class")
+    def tokenizer(self):
+        return WordPieceTokenizer(train_wordpiece(CORPUS, vocab_size=150))
+
+    def test_loss_decreases(self, tokenizer):
+        cfg = SMALL.with_vocab(len(tokenizer.vocab))
+        result = pretrain(cfg, tokenizer, CORPUS, seed=0, steps=60, batch_size=8)
+        early = np.mean(result.losses[:10])
+        late = np.mean(result.losses[-10:])
+        assert late < early
+
+    def test_mlm_head_loss_none_when_unmasked(self, tokenizer):
+        cfg = SMALL.with_vocab(len(tokenizer.vocab))
+        model = BertForMaskedLM(cfg, np.random.default_rng(0))
+        logits = model(np.ones((1, 4), dtype=np.int64), np.ones((1, 4)))
+        labels = np.full((1, 4), IGNORE_INDEX)
+        assert model.loss(logits, labels) is None
+
+    def test_cache_roundtrip(self, tokenizer, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cfg = SMALL.with_vocab(len(tokenizer.vocab))
+        object.__setattr__(cfg, "pretrain_steps", 10)
+        a = pretrained_bert(cfg, tokenizer, CORPUS, seed=0)
+        b = pretrained_bert(cfg, tokenizer, CORPUS, seed=0)
+        assert a is not b  # fresh instances
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_cache_distinguishes_seeds(self, tokenizer, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cfg = SMALL.with_vocab(len(tokenizer.vocab))
+        object.__setattr__(cfg, "pretrain_steps", 10)
+        a = pretrained_bert(cfg, tokenizer, CORPUS, seed=0)
+        b = pretrained_bert(cfg, tokenizer, CORPUS, seed=1)
+        assert not np.allclose(
+            a.embeddings.token.weight.data, b.embeddings.token.weight.data
+        )

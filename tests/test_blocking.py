@@ -1,0 +1,202 @@
+"""Tests for the blocking subsystem."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking import (
+    MatchingPipeline,
+    MinHashBlocker,
+    SortedNeighborhoodBlocker,
+    TokenBlocker,
+    evaluate_blocking,
+)
+from repro.blocking.base import BlockingResult, CandidatePair
+from repro.data.registry import load_dataset
+from repro.data.schema import EntityRecord
+
+
+def rec(text: str, source="a") -> EntityRecord:
+    return EntityRecord.from_dict({"t": text}, source=source)
+
+
+LEFT = [
+    rec("sandisk ultra sdcfh compactflash card"),
+    rec("samsung 850 evo ssd terabyte"),
+    rec("kingston datatraveler usb drive"),
+    rec("nike air zoom running shoe"),
+]
+RIGHT = [
+    rec("sandisk sdcfh cf card ultra", source="b"),
+    rec("samsung evo ssd 850 retail", source="b"),
+    rec("canon eos dslr camera kit", source="b"),
+    rec("nike zoom shoe mens", source="b"),
+]
+GOLD = [(0, 0), (1, 1), (3, 3)]
+
+
+class TestMetrics:
+    def test_perfect_blocking(self):
+        result = BlockingResult([CandidatePair(*g) for g in GOLD], 4, 4)
+        metrics = evaluate_blocking(result, GOLD)
+        assert metrics["pair_completeness"] == 1.0
+        assert metrics["reduction_ratio"] == pytest.approx(1 - 3 / 16)
+
+    def test_missing_matches(self):
+        result = BlockingResult([CandidatePair(0, 0)], 4, 4)
+        metrics = evaluate_blocking(result, GOLD)
+        assert metrics["pair_completeness"] == pytest.approx(1 / 3)
+
+    def test_empty_gold(self):
+        result = BlockingResult([], 4, 4)
+        assert evaluate_blocking(result, [])["pair_completeness"] == 1.0
+
+
+class TestTokenBlocker:
+    def test_finds_gold_matches(self):
+        result = TokenBlocker().block(LEFT, RIGHT)
+        metrics = evaluate_blocking(result, GOLD)
+        assert metrics["pair_completeness"] == 1.0
+
+    def test_prunes_cross_product(self):
+        result = TokenBlocker().block(LEFT, RIGHT)
+        assert result.comparison_count < result.full_cross_product
+
+    def test_min_common_raises_precision(self):
+        loose = TokenBlocker(min_common=1).block(LEFT, RIGHT)
+        strict = TokenBlocker(min_common=2).block(LEFT, RIGHT)
+        assert strict.comparison_count <= loose.comparison_count
+
+    def test_stop_words_filtered(self):
+        # 'retail' on every record must not create candidates by itself.
+        left = [rec(f"item{i} retail") for i in range(10)]
+        right = [rec(f"thing{i} retail", source="b") for i in range(10)]
+        result = TokenBlocker(max_token_frequency=0.5).block(left, right)
+        assert result.comparison_count == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBlocker(min_common=0)
+        with pytest.raises(ValueError):
+            TokenBlocker(max_token_frequency=0.0)
+
+    def test_deduplicated_sorted_candidates(self):
+        result = TokenBlocker().block(LEFT, RIGHT)
+        pairs = [(c.left, c.right) for c in result.candidates]
+        assert pairs == sorted(set(pairs))
+
+
+class TestMinHashBlocker:
+    def test_finds_similar_pairs(self):
+        result = MinHashBlocker(num_hashes=64, bands=32).block(LEFT, RIGHT)
+        metrics = evaluate_blocking(result, GOLD)
+        assert metrics["pair_completeness"] >= 2 / 3
+
+    def test_signature_deterministic(self):
+        blocker = MinHashBlocker(seed=1)
+        tokens = {"sandisk", "card", "ultra"}
+        np.testing.assert_array_equal(blocker.signature(tokens),
+                                      blocker.signature(tokens))
+
+    def test_identical_sets_identical_signature(self):
+        blocker = MinHashBlocker()
+        a = blocker.signature({"x", "y", "z"})
+        b = blocker.signature({"z", "y", "x"})
+        np.testing.assert_array_equal(a, b)
+
+    def test_bands_divisibility_validated(self):
+        with pytest.raises(ValueError):
+            MinHashBlocker(num_hashes=10, bands=3)
+
+    @given(st.sets(st.text(alphabet="abcdef", min_size=1, max_size=4),
+                   min_size=3, max_size=12),
+           st.sets(st.text(alphabet="abcdef", min_size=1, max_size=4),
+                   min_size=3, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_jaccard_estimate_roughly_unbiased(self, set_a, set_b):
+        blocker = MinHashBlocker(num_hashes=256, bands=8, seed=0)
+        true_jaccard = len(set_a & set_b) / len(set_a | set_b)
+        estimate = blocker.estimated_jaccard(
+            blocker.signature(set_a), blocker.signature(set_b)
+        )
+        assert abs(estimate - true_jaccard) < 0.25
+
+    def test_empty_tokens_signature(self):
+        blocker = MinHashBlocker()
+        sig = blocker.signature(set())
+        assert sig.shape == (blocker.num_hashes,)
+
+
+class TestSortedNeighborhood:
+    def test_adjacent_keys_paired(self):
+        left = [rec("aaa product"), rec("zzz product")]
+        right = [rec("aaa produkt", source="b"), rec("mmm other", source="b")]
+        result = SortedNeighborhoodBlocker(window=2).block(left, right)
+        assert (0, 0) in result.candidate_set()
+
+    def test_window_bounds_candidates(self):
+        small = SortedNeighborhoodBlocker(window=2).block(LEFT, RIGHT)
+        large = SortedNeighborhoodBlocker(window=8).block(LEFT, RIGHT)
+        assert small.comparison_count <= large.comparison_count
+
+    def test_only_cross_collection_pairs(self):
+        result = SortedNeighborhoodBlocker(window=4).block(LEFT, RIGHT)
+        for c in result.candidates:
+            assert 0 <= c.left < len(LEFT)
+            assert 0 <= c.right < len(RIGHT)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SortedNeighborhoodBlocker(window=1)
+
+    def test_custom_key(self):
+        # Key by last token pulls 'card'-final records together.
+        blocker = SortedNeighborhoodBlocker(
+            window=2, key=lambda r: r.text().split()[-1])
+        result = blocker.block([rec("sandisk card")], [rec("lexar card", source="b")])
+        assert (0, 0) in result.candidate_set()
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        from repro.bert.config import BertConfig
+        from repro.bert.model import BertModel
+        from repro.data.loader import PairEncoder
+        from repro.models import SingleTaskMatcher
+        from repro.text import WordPieceTokenizer, train_wordpiece
+
+        ds = load_dataset("wdc_computers", size="small")
+        texts = [r.text() for p in ds.all_pairs() for r in (p.record1, p.record2)]
+        tok = WordPieceTokenizer(train_wordpiece(texts, vocab_size=400))
+        cfg = BertConfig(vocab_size=len(tok.vocab), hidden_size=16,
+                         num_layers=1, num_heads=2, intermediate_size=32,
+                         max_position=96, dropout=0.0, attention_dropout=0.0)
+        model = SingleTaskMatcher(BertModel(cfg, np.random.default_rng(0)),
+                                  16, np.random.default_rng(1))
+        model.eval()
+        return MatchingPipeline(TokenBlocker(), model, PairEncoder(tok, 96))
+
+    def test_decisions_sorted_by_probability(self, pipeline):
+        decisions = pipeline.match(LEFT, RIGHT)
+        probs = [d.probability for d in decisions]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_matches_respect_threshold(self, pipeline):
+        for d in pipeline.matches(LEFT, RIGHT):
+            assert d.probability >= pipeline.threshold
+
+    def test_only_blocked_candidates_scored(self, pipeline):
+        blocked = pipeline.blocker.block(LEFT, RIGHT).candidate_set()
+        decisions = pipeline.match(LEFT, RIGHT)
+        assert {(d.left, d.right) for d in decisions} <= blocked
+
+    def test_threshold_validation(self, pipeline):
+        with pytest.raises(ValueError):
+            MatchingPipeline(pipeline.blocker, pipeline.model,
+                             pipeline.encoder, threshold=1.5)
+
+    def test_empty_candidates(self, pipeline):
+        # Completely disjoint vocabularies produce no candidates.
+        assert pipeline.match([rec("qqq www")], [rec("eee rrr", source="b")]) == []

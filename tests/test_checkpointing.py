@@ -1,0 +1,79 @@
+"""Model persistence: trained matchers survive a disk round trip."""
+
+import numpy as np
+import pytest
+
+from repro.bert.config import BertConfig
+from repro.bert.model import BertModel
+from repro.data.loader import PairEncoder, collate
+from repro.data.registry import load_dataset
+from repro.models import Emba, JointBert
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.text import WordPieceTokenizer, train_wordpiece
+
+CFG = BertConfig(vocab_size=300, hidden_size=16, num_layers=1, num_heads=2,
+                 intermediate_size=32, max_position=96, dropout=0.0,
+                 attention_dropout=0.0)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = load_dataset("wdc_computers", size="small")
+    texts = [r.text() for p in ds.all_pairs() for r in (p.record1, p.record2)]
+    tok = WordPieceTokenizer(train_wordpiece(texts, vocab_size=400))
+    cfg = CFG.with_vocab(len(tok.vocab))
+    enc = PairEncoder(tok, max_length=96)
+    batch = collate(enc.encode_many(ds.train[:8], ds))
+    return {"cfg": cfg, "batch": batch, "classes": ds.num_id_classes}
+
+
+def build(setup, cls, encoder_seed=0, head_seed=1):
+    bert = BertModel(setup["cfg"], np.random.default_rng(encoder_seed))
+    return cls(bert, setup["cfg"].hidden_size, setup["classes"],
+               np.random.default_rng(head_seed))
+
+
+class TestCheckpointing:
+    def test_emba_roundtrip_preserves_predictions(self, setup, tmp_path):
+        original = build(setup, Emba)
+        original.eval()
+        path = tmp_path / "emba.npz"
+        save_state_dict(original, path)
+
+        restored = build(setup, Emba, encoder_seed=9, head_seed=9)
+        load_state_dict(restored, path)
+        restored.eval()
+
+        np.testing.assert_allclose(
+            original.predict(setup["batch"])["em_prob"],
+            restored.predict(setup["batch"])["em_prob"],
+            rtol=1e-5,
+        )
+
+    def test_checkpoint_includes_encoder_and_heads(self, setup, tmp_path):
+        model = build(setup, Emba)
+        save_state_dict(model, tmp_path / "m.npz")
+        names = set(model.state_dict())
+        assert any(n.startswith("encoder.") for n in names)
+        assert any(n.startswith("id1_head.") for n in names)
+        assert any(n.startswith("em_head.") for n in names)
+
+    def test_cross_architecture_load_fails(self, setup, tmp_path):
+        emba = build(setup, Emba)
+        path = tmp_path / "emba.npz"
+        save_state_dict(emba, path)
+        jointbert = build(setup, JointBert)
+        with pytest.raises(KeyError):
+            load_state_dict(jointbert, path)
+
+    def test_non_strict_partial_load(self, setup, tmp_path):
+        emba = build(setup, Emba)
+        path = tmp_path / "emba.npz"
+        save_state_dict(emba, path)
+        jointbert = build(setup, JointBert, encoder_seed=5)
+        # Shared encoder weights load; head mismatches are ignored.
+        load_state_dict(jointbert, path, strict=False)
+        np.testing.assert_allclose(
+            jointbert.encoder.embeddings.token.weight.data,
+            emba.encoder.embeddings.token.weight.data,
+        )

@@ -1,0 +1,57 @@
+"""Tests for the EM-vs-ID consistency analysis (Figure 1b)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.consistency import (
+    ConsistencyReport,
+    consistency_report,
+    id_equality_as_matcher_f1,
+)
+
+
+class TestConsistencyReport:
+    def test_fully_consistent(self):
+        em = np.array([1, 0, 1])
+        id1 = np.array([5, 2, 7])
+        id2 = np.array([5, 9, 7])
+        report = consistency_report(em, id1, id2)
+        assert report.agreement_rate == 1.0
+        assert report.contradictions == 0
+
+    def test_figure_1b_case(self):
+        # JointBERT's failure: predicts match, but also the same ID for
+        # two records of a true non-match -> internally "consistent";
+        # EMBA's correct behaviour: non-match + different IDs.
+        # A contradiction example: match predicted but IDs differ.
+        em = np.array([1])
+        report = consistency_report(em, np.array([1]), np.array([2]))
+        assert report.match_but_different_ids == 1
+        assert report.agreement_rate == 0.0
+
+    def test_nonmatch_same_ids_counted(self):
+        report = consistency_report(np.array([0]), np.array([3]), np.array([3]))
+        assert report.nonmatch_but_same_ids == 1
+
+    def test_empty(self):
+        report = consistency_report(np.array([]), np.array([]), np.array([]))
+        assert report.agreement_rate == 1.0
+        assert report.total == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            consistency_report(np.array([1]), np.array([1, 2]), np.array([1, 2]))
+
+
+class TestIdEqualityMatcher:
+    def test_perfect_ids(self):
+        labels = np.array([1, 0, 1, 0])
+        id1 = np.array([1, 2, 3, 4])
+        id2 = np.array([1, 9, 3, 8])
+        assert id_equality_as_matcher_f1(labels, id1, id2) == 1.0
+
+    def test_useless_ids(self):
+        labels = np.array([1, 0])
+        # IDs never equal -> no positives predicted -> F1 = 0.
+        assert id_equality_as_matcher_f1(labels, np.array([1, 2]),
+                                         np.array([3, 4])) == 0.0

@@ -1,0 +1,82 @@
+"""Tests for dataset profiling (repro.data.analysis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.analysis import (
+    attribute_fill_rates,
+    overlap_profile,
+    profile_dataset,
+    source_vocabulary_overlap,
+    token_jaccard,
+)
+from repro.data.registry import load_dataset
+from repro.data.schema import EntityPair, EntityRecord
+
+
+def pair(t1, t2, label=1):
+    return EntityPair(EntityRecord.from_dict({"t": t1}),
+                      EntityRecord.from_dict({"t": t2}, source="b"), label)
+
+
+class TestTokenJaccard:
+    def test_identical(self):
+        assert token_jaccard("a b c", "a b c") == 1.0
+
+    def test_disjoint(self):
+        assert token_jaccard("a b", "c d") == 0.0
+
+    def test_partial(self):
+        assert token_jaccard("a b c", "b c d") == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert token_jaccard("", "") == 0.0
+
+    @given(st.text(alphabet="abc ", max_size=20),
+           st.text(alphabet="abc ", max_size=20))
+    @settings(max_examples=80, deadline=None)
+    def test_bounded_and_symmetric(self, a, b):
+        j = token_jaccard(a, b)
+        assert 0.0 <= j <= 1.0
+        assert j == token_jaccard(b, a)
+
+
+class TestProfiles:
+    def test_fill_rates(self):
+        pairs = [EntityPair(
+            EntityRecord.from_dict({"title": "x", "brand": ""}),
+            EntityRecord.from_dict({"title": "y", "brand": "z"}, source="b"), 0)]
+        rates = attribute_fill_rates(pairs)
+        assert rates["title"] == 1.0
+        assert rates["brand"] == 0.5
+
+    def test_overlap_profile_separation(self):
+        pairs = [pair("a b c", "a b c", 1), pair("a b c", "x y z", 0)]
+        profile = overlap_profile(pairs)
+        assert profile.match_mean > profile.nonmatch_mean
+        assert profile.separation > 0.5
+
+    def test_empty_class_handled(self):
+        profile = overlap_profile([pair("a", "a", 1)])
+        assert profile.nonmatch_mean == 0.0
+
+    def test_source_vocabulary_overlap(self):
+        full = source_vocabulary_overlap([pair("a b", "a b", 0)])
+        none = source_vocabulary_overlap([pair("a b", "c d", 0)])
+        assert full == 1.0
+        assert none == 0.0
+
+    def test_profile_on_real_dataset(self):
+        ds = load_dataset("wdc_computers", size="small")
+        profile = profile_dataset(ds.train)
+        # The generators must produce the separable-by-overlap regime.
+        assert profile["jaccard_separation"] > 0.05
+        assert 0.0 < profile["source_vocabulary_overlap"] <= 1.0
+        assert profile["num_pairs"] == len(ds.train)
+
+    def test_abt_buy_less_overlapping_than_wdc(self):
+        # abt-buy's verbosity asymmetry lowers match-pair token overlap.
+        wdc = profile_dataset(load_dataset("wdc_computers", size="small").train)
+        abt = profile_dataset(load_dataset("abt_buy").train)
+        assert abt["match_jaccard_mean"] < wdc["match_jaccard_mean"] + 0.3

@@ -1,0 +1,250 @@
+"""Tests for the synthetic dataset generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators.base import (
+    OfferPool,
+    corrupt_tokens,
+    model_code,
+    pair_keys,
+    random_word,
+    sample_pairs,
+    typo,
+)
+from repro.data.imbalance import entity_id_lrid
+from repro.data.registry import DATASET_NAMES, dataset_summary, load_dataset
+from repro.data.schema import EntityRecord
+
+
+class TestBaseMachinery:
+    def test_random_word_pronounceable(self):
+        rng = np.random.default_rng(0)
+        word = random_word(rng)
+        assert word.isalpha()
+        assert 3 <= len(word) <= 6
+
+    def test_model_code_format(self):
+        rng = np.random.default_rng(0)
+        code = model_code(rng, blocks=(3, 4))
+        left, right = code.split("-")
+        assert len(left) == 3 and len(right) == 4
+
+    def test_typo_swaps_adjacent(self):
+        rng = np.random.default_rng(0)
+        out = typo("abcdef", rng)
+        assert sorted(out) == sorted("abcdef")
+        assert out != "abcdef" or len(out) < 3
+
+    def test_typo_short_word_unchanged(self):
+        rng = np.random.default_rng(0)
+        assert typo("ab", rng) == "ab"
+
+    def test_corrupt_never_empty(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert corrupt_tokens(["only"], rng, drop_prob=0.99)
+
+    def test_corrupt_drops_tokens(self):
+        rng = np.random.default_rng(0)
+        tokens = [f"t{i}" for i in range(100)]
+        out = corrupt_tokens(tokens, rng, drop_prob=0.5, typo_prob=0.0)
+        assert len(out) < 80
+
+    def _pool(self):
+        pool = OfferPool()
+        for e in range(5):
+            for o in range(4):
+                pool.add(f"e{e}", EntityRecord.from_dict(
+                    {"t": f"entity {e} offer {o}"}, entity_id=f"e{e}", source=f"s{o}"
+                ))
+        return pool
+
+    def test_sample_pairs_labels(self):
+        rng = np.random.default_rng(0)
+        pairs = sample_pairs(self._pool(), 10, 20, rng)
+        assert sum(p.label for p in pairs) == 10
+        assert len(pairs) == 30
+
+    def test_positive_pairs_same_entity(self):
+        rng = np.random.default_rng(0)
+        for p in sample_pairs(self._pool(), 10, 0, rng):
+            assert p.record1.entity_id == p.record2.entity_id
+            assert p.record1 != p.record2
+
+    def test_negative_pairs_different_entities(self):
+        rng = np.random.default_rng(0)
+        for p in sample_pairs(self._pool(), 0, 20, rng):
+            assert p.record1.entity_id != p.record2.entity_id
+
+    def test_no_duplicate_pairs(self):
+        rng = np.random.default_rng(0)
+        pairs = sample_pairs(self._pool(), 15, 30, rng)
+        assert len(pair_keys(pairs)) == len(pairs)
+
+    def test_forbidden_respected(self):
+        rng = np.random.default_rng(0)
+        first = sample_pairs(self._pool(), 10, 10, rng)
+        second = sample_pairs(self._pool(), 10, 10, rng, forbidden=pair_keys(first))
+        assert not (pair_keys(first) & pair_keys(second))
+
+    def test_hard_negatives_same_group(self):
+        pool = OfferPool()
+        groups = {}
+        for e in range(8):
+            group = "g1" if e < 4 else "g2"
+            groups[f"e{e}"] = group
+            for o in range(3):
+                pool.add(f"e{e}", EntityRecord.from_dict(
+                    {"t": f"x {e} {o}"}, entity_id=f"e{e}", source=f"s{o}"))
+        rng = np.random.default_rng(0)
+        pairs = sample_pairs(pool, 0, 40, rng, hard_negative_groups=groups,
+                             hard_fraction=1.0)
+        same_group = sum(
+            groups[p.record1.entity_id] == groups[p.record2.entity_id] for p in pairs
+        )
+        assert same_group == len(pairs)
+
+
+class TestWDC:
+    @pytest.mark.parametrize("category", ["computers", "cameras", "watches", "shoes"])
+    def test_all_categories_generate(self, category):
+        ds = load_dataset(f"wdc_{category}", size="small")
+        assert ds.train and ds.valid and ds.test
+
+    def test_sizes_ordered(self):
+        sizes = [len(load_dataset("wdc_computers", size=s).train)
+                 for s in ("small", "medium", "large", "xlarge")]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_test_set_fixed_across_sizes(self):
+        small = load_dataset("wdc_computers", size="small")
+        xlarge = load_dataset("wdc_computers", size="xlarge")
+        assert len(small.test) == len(xlarge.test)
+
+    def test_test_entities_covered_by_training_pool(self):
+        ds = load_dataset("wdc_computers", size="medium")
+        train_ids = {r.entity_id for p in ds.train for r in (p.record1, p.record2)}
+        test_ids = {r.entity_id for p in ds.test for r in (p.record1, p.record2)}
+        # Most test entities appear in training (WDC property).
+        assert len(test_ids & train_ids) / len(test_ids) > 0.7
+
+    def test_no_pair_overlap_between_splits(self):
+        ds = load_dataset("wdc_computers", size="medium")
+        assert not (pair_keys(ds.train) & pair_keys(ds.test))
+        assert not (pair_keys(ds.valid) & pair_keys(ds.test))
+
+    def test_low_lrid(self):
+        # WDC entity-ID classes are roughly balanced.
+        ds = load_dataset("wdc_computers", size="xlarge")
+        assert entity_id_lrid(ds.all_pairs()) < 1.0
+
+    def test_deterministic(self):
+        a = load_dataset.__wrapped__("wdc_cameras", "small", 0)
+        b = load_dataset.__wrapped__("wdc_cameras", "small", 0)
+        assert a.train[0] == b.train[0]
+
+    def test_different_seeds_differ(self):
+        a = load_dataset.__wrapped__("wdc_cameras", "small", 0)
+        b = load_dataset.__wrapped__("wdc_cameras", "small", 1)
+        assert a.train[0] != b.train[0]
+
+    def test_unknown_category(self):
+        with pytest.raises(ValueError):
+            load_dataset("wdc_toasters")
+
+    def test_unknown_size(self):
+        with pytest.raises(ValueError):
+            load_dataset("wdc_computers", size="huge")
+
+
+class TestStructuredDatasets:
+    def test_abt_buy_sources(self):
+        ds = load_dataset("abt_buy")
+        sources = {r.source for p in ds.all_pairs() for r in (p.record1, p.record2)}
+        assert sources <= {"abt", "buy"}
+
+    def test_abt_buy_cluster_ids_assigned(self):
+        ds = load_dataset("abt_buy")
+        assert all(
+            r.entity_id is not None
+            for p in ds.all_pairs() for r in (p.record1, p.record2)
+        )
+
+    def test_abt_buy_matches_share_cluster(self):
+        ds = load_dataset("abt_buy")
+        for p in ds.all_pairs():
+            if p.label == 1:
+                assert p.record1.entity_id == p.record2.entity_id
+
+    def test_dblp_scholar_high_lrid(self):
+        # dblp-scholar must be the most imbalanced family (paper: 4.548).
+        dblp = entity_id_lrid(load_dataset("dblp_scholar").all_pairs())
+        wdc = entity_id_lrid(load_dataset("wdc_computers", size="xlarge").all_pairs())
+        assert dblp > wdc
+
+    def test_dblp_aux_label_is_venue_year(self):
+        ds = load_dataset("dblp_scholar")
+        some_id = ds.train[0].record1.entity_id
+        venue, year = some_id.rsplit("-", 1)
+        assert venue.isalpha() and year.isdigit()
+
+    def test_companies_many_singleton_classes(self):
+        ds = load_dataset("companies")
+        # Most auxiliary classes have very few members.
+        from collections import Counter
+        counts = Counter(r.entity_id for p in ds.all_pairs()
+                         for r in (p.record1, p.record2))
+        assert ds.num_id_classes > 50
+        small_classes = sum(1 for c in counts.values() if c <= 4)
+        assert small_classes / len(counts) > 0.5
+
+    def test_size_argument_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("abt_buy", size="small")
+
+
+class TestMagellanDatasets:
+    @pytest.mark.parametrize("name,aux", [
+        ("baby_products", "category"),
+        ("bikes", "brand"),
+        ("books", "publisher"),
+    ])
+    def test_generate_and_aux_label(self, name, aux):
+        ds = load_dataset(name)
+        assert ds.metadata["aux_label"] == aux
+        assert ds.train and ds.test
+
+    def test_books_isbn_excluded(self):
+        ds = load_dataset("books")
+        attrs = {k for p in ds.all_pairs() for k, _ in p.record1.attributes}
+        assert "ISBN13" not in attrs and "isbn" not in {a.lower() for a in attrs}
+
+    def test_books_sparse_publishers(self):
+        ds = load_dataset("books")
+        assert ds.num_id_classes >= 10
+
+    def test_magellan_smaller_than_wdc(self):
+        baby = load_dataset("baby_products")
+        wdc = load_dataset("wdc_computers", size="xlarge")
+        assert len(baby.train) < len(wdc.train)
+
+
+class TestRegistry:
+    def test_all_names_load(self):
+        for name in DATASET_NAMES:
+            ds = load_dataset(name, size="small" if name.startswith("wdc_") else "default")
+            assert ds.name
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("bikes")
+        b = load_dataset("bikes")
+        assert a is b
+
+    def test_summary_fields(self):
+        summary = dataset_summary(load_dataset("wdc_shoes", size="small"))
+        assert set(summary) == {"dataset", "pos_pairs", "neg_pairs", "lrid",
+                                "num_classes", "test_size"}
+        assert summary["pos_pairs"] > 0
+        assert summary["lrid"] >= 0

@@ -1,0 +1,135 @@
+"""Tests for pair encoding and batching."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import PairEncoder, collate, iter_batches
+from repro.data.registry import load_dataset
+from repro.data.schema import EMDataset, EntityPair, EntityRecord
+from repro.text import CLS_TOKEN, SEP_TOKEN, WordPieceTokenizer, train_wordpiece
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    ds = load_dataset("wdc_computers", size="small")
+    texts = [r.text() for p in ds.all_pairs() for r in (p.record1, p.record2)]
+    return WordPieceTokenizer(train_wordpiece(texts, vocab_size=400))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("wdc_computers", size="small")
+
+
+def make_pair(t1: str, t2: str, label=1) -> EntityPair:
+    return EntityPair(
+        EntityRecord.from_dict({"t": t1}, entity_id="a"),
+        EntityRecord.from_dict({"t": t2}, entity_id="b", source="s2"),
+        label,
+    )
+
+
+class TestPairEncoder:
+    def test_layout(self, tokenizer):
+        enc = PairEncoder(tokenizer, max_length=64)
+        e = enc.encode(make_pair("samsung ssd", "samsung 850 evo"))
+        assert e.tokens[0] == CLS_TOKEN
+        assert e.tokens.count(SEP_TOKEN) == 2
+        assert e.tokens[-1] == SEP_TOKEN
+
+    def test_segment_ids(self, tokenizer):
+        enc = PairEncoder(tokenizer, max_length=64)
+        e = enc.encode(make_pair("one", "two"))
+        first_sep = e.tokens.index(SEP_TOKEN)
+        assert (e.segment_ids[:first_sep + 1] == 0).all()
+        assert (e.segment_ids[first_sep + 1:] == 1).all()
+
+    def test_masks_cover_descriptions_only(self, tokenizer):
+        enc = PairEncoder(tokenizer, max_length=64)
+        e = enc.encode(make_pair("sandisk card", "transcend card"))
+        # Masks exclude CLS and both SEPs.
+        assert not e.mask1[0] and not e.mask2[0]
+        assert not (e.mask1 & e.mask2).any()
+        toks1 = [t for t, m in zip(e.tokens, e.mask1) if m]
+        assert "sandisk" in "".join(toks1).replace("##", "")
+
+    def test_truncation_respects_max_length(self, tokenizer):
+        enc = PairEncoder(tokenizer, max_length=16)
+        long_text = "samsung evo ssd retail " * 20
+        e = enc.encode(make_pair(long_text, long_text))
+        assert e.length <= 16
+        assert e.mask1.sum() > 0 and e.mask2.sum() > 0
+
+    def test_truncation_balanced(self, tokenizer):
+        enc = PairEncoder(tokenizer, max_length=20)
+        e = enc.encode(make_pair("samsung " * 30, "evo " * 30))
+        assert abs(int(e.mask1.sum()) - int(e.mask2.sum())) <= 1
+
+    def test_id_indices_from_dataset(self, tokenizer, dataset):
+        enc = PairEncoder(tokenizer, max_length=64)
+        e = enc.encode(dataset.train[0], dataset)
+        assert 0 <= e.id1 < dataset.num_id_classes
+        assert 0 <= e.id2 < dataset.num_id_classes
+
+    def test_ditto_style_adds_tags(self, tokenizer):
+        enc = PairEncoder(tokenizer, max_length=64, style="ditto")
+        e = enc.encode(make_pair("evo", "pro"))
+        assert "[COL]" in e.tokens
+        assert "[VAL]" in e.tokens
+
+    def test_min_length_validation(self, tokenizer):
+        with pytest.raises(ValueError):
+            PairEncoder(tokenizer, max_length=4)
+
+
+class TestCollate:
+    def test_padding_shapes(self, tokenizer):
+        enc = PairEncoder(tokenizer, max_length=64)
+        encoded = [enc.encode(make_pair("a b c", "d")),
+                   enc.encode(make_pair("a much longer first record here", "x y"))]
+        batch = collate(encoded)
+        assert batch.input_ids.shape == batch.attention_mask.shape
+        assert batch.size == 2
+        lengths = batch.attention_mask.sum(axis=1)
+        assert lengths[0] < lengths[1]
+
+    def test_padding_uses_pad_id(self, tokenizer):
+        enc = PairEncoder(tokenizer, max_length=64)
+        encoded = [enc.encode(make_pair("a", "b")),
+                   enc.encode(make_pair("a longer one", "b longer two"))]
+        batch = collate(encoded, pad_id=0)
+        pad_region = batch.attention_mask[0] == 0
+        assert (batch.input_ids[0][pad_region] == 0).all()
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError):
+            collate([])
+
+    def test_labels_and_ids(self, tokenizer, dataset):
+        enc = PairEncoder(tokenizer, max_length=64)
+        encoded = enc.encode_many(dataset.train[:4], dataset)
+        batch = collate(encoded)
+        np.testing.assert_array_equal(
+            batch.labels, [p.label for p in dataset.train[:4]]
+        )
+
+
+class TestIterBatches:
+    def test_covers_all_items(self, tokenizer, dataset):
+        enc = PairEncoder(tokenizer, max_length=64)
+        encoded = enc.encode_many(dataset.train, dataset)
+        total = sum(b.size for b in iter_batches(encoded, batch_size=16))
+        assert total == len(encoded)
+
+    def test_shuffling_changes_order(self, tokenizer, dataset):
+        enc = PairEncoder(tokenizer, max_length=64)
+        encoded = enc.encode_many(dataset.train, dataset)
+        b1 = next(iter_batches(encoded, 8, rng=np.random.default_rng(1)))
+        b2 = next(iter_batches(encoded, 8, rng=np.random.default_rng(2)))
+        assert not np.array_equal(b1.labels, b2.labels) or not np.array_equal(
+            b1.input_ids, b2.input_ids
+        )
+
+    def test_invalid_batch_size(self, tokenizer):
+        with pytest.raises(ValueError):
+            list(iter_batches([], 0))

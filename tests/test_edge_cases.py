@@ -1,0 +1,131 @@
+"""Edge-case tests across modules: empty inputs, degenerate shapes."""
+
+import numpy as np
+import pytest
+
+from repro.bert.config import BertConfig
+from repro.bert.encoder import TransformerLayer
+from repro.data.loader import PairEncoder, collate, iter_batches
+from repro.data.schema import EMDataset, EntityPair, EntityRecord
+from repro.models.base import EMModel, EMOutput
+from repro.nn.layers import Linear
+from repro.nn.tensor import Tensor
+from repro.text import Vocabulary, WordPieceTokenizer, train_wordpiece
+
+CFG = BertConfig(vocab_size=64, hidden_size=16, num_layers=1, num_heads=2,
+                 intermediate_size=32, max_position=32, dropout=0.0,
+                 attention_dropout=0.0)
+
+RNG = np.random.default_rng(0)
+
+
+class TestTransformerLayer:
+    def test_residual_path_preserves_shape(self):
+        layer = TransformerLayer(CFG, RNG)
+        layer.eval()
+        x = Tensor(RNG.normal(size=(2, 6, 16)).astype(np.float32))
+        out, probs = layer(x, np.ones((2, 6)))
+        assert out.shape == x.shape
+        assert probs.shape == (2, 2, 6, 6)
+
+    def test_single_token_sequence(self):
+        layer = TransformerLayer(CFG, RNG)
+        layer.eval()
+        x = Tensor(RNG.normal(size=(1, 1, 16)).astype(np.float32))
+        out, probs = layer(x, np.ones((1, 1)))
+        assert out.shape == (1, 1, 16)
+        np.testing.assert_allclose(probs[..., 0], 1.0, rtol=1e-5)
+
+
+class TestEncodingEdgeCases:
+    @pytest.fixture(scope="class")
+    def tokenizer(self):
+        return WordPieceTokenizer(
+            train_wordpiece(["alpha beta gamma delta"] * 4, vocab_size=100)
+        )
+
+    def test_empty_record_text(self, tokenizer):
+        enc = PairEncoder(tokenizer, max_length=16)
+        pair = EntityPair(
+            EntityRecord.from_dict({"t": ""}),
+            EntityRecord.from_dict({"t": "alpha"}, source="b"), 0)
+        encoded = enc.encode(pair)
+        # Still a valid [CLS] [SEP] alpha [SEP] layout.
+        assert encoded.length >= 3
+        assert encoded.mask1.sum() == 0
+        assert encoded.mask2.sum() >= 1
+
+    def test_both_records_empty(self, tokenizer):
+        enc = PairEncoder(tokenizer, max_length=16)
+        pair = EntityPair(
+            EntityRecord.from_dict({"t": ""}),
+            EntityRecord.from_dict({"t": ""}, source="b"), 0)
+        encoded = enc.encode(pair)
+        batch = collate([encoded])
+        assert batch.input_ids.shape[0] == 1
+
+    def test_iter_batches_pad_id(self, tokenizer):
+        enc = PairEncoder(tokenizer, max_length=32)
+        pairs = [
+            EntityPair(EntityRecord.from_dict({"t": "alpha"}),
+                       EntityRecord.from_dict({"t": "beta gamma delta" * 2},
+                                              source="b"), 0),
+            EntityPair(EntityRecord.from_dict({"t": "alpha beta"}),
+                       EntityRecord.from_dict({"t": "gamma"}, source="b"), 1),
+        ]
+        encoded = enc.encode_many(pairs)
+        batches = list(iter_batches(encoded, 2, pad_id=0))
+        assert len(batches) == 1
+        pad_positions = batches[0].attention_mask == 0
+        assert (batches[0].input_ids[pad_positions] == 0).all()
+
+
+class TestVocabularyEdgeCases:
+    def test_load_keeps_special_order(self, tmp_path):
+        vocab = Vocabulary(["aaa"])
+        path = tmp_path / "v.json"
+        vocab.save(path)
+        loaded = Vocabulary.load(path)
+        assert loaded.pad_id == 0
+        assert loaded.token_to_id("aaa") == vocab.token_to_id("aaa")
+
+    def test_empty_vocab(self):
+        vocab = Vocabulary([])
+        assert len(vocab) == 7  # specials only
+
+
+class TestEMModelBase:
+    class TrivialModel(EMModel):
+        def __init__(self):
+            super().__init__()
+            self.fc = Linear(1, 1, np.random.default_rng(0))
+
+        def forward(self, batch):
+            x = Tensor(batch.attention_mask.sum(axis=1, keepdims=True)
+                       .astype(np.float32))
+            return EMOutput(em_logits=self.fc(x).squeeze(-1))
+
+    def _batch(self):
+        tok = WordPieceTokenizer(train_wordpiece(["a b c"] * 3, vocab_size=60))
+        enc = PairEncoder(tok, max_length=16)
+        pair = EntityPair(EntityRecord.from_dict({"t": "a"}),
+                          EntityRecord.from_dict({"t": "b"}, source="x"), 1)
+        return collate([enc.encode(pair)])
+
+    def test_single_task_loss_is_bce_only(self):
+        model = self.TrivialModel()
+        batch = self._batch()
+        out = model(batch)
+        loss = model.loss(out, batch)
+        # Must equal the BCE value directly (no aux terms added).
+        from repro.nn.losses import binary_cross_entropy_with_logits
+
+        expected = binary_cross_entropy_with_logits(out.em_logits, batch.labels)
+        np.testing.assert_allclose(loss.data, expected.data, rtol=1e-6)
+
+    def test_predict_threshold(self):
+        model = self.TrivialModel()
+        batch = self._batch()
+        loose = model.predict(batch, threshold=0.0)
+        strict = model.predict(batch, threshold=1.0)
+        assert loose["em_pred"].sum() >= strict["em_pred"].sum()

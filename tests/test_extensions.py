@@ -1,0 +1,149 @@
+"""Tests for the future-work extensions: self-training, contrastive
+pre-training, and the 'described' serialization style."""
+
+import numpy as np
+import pytest
+
+from repro.bert.config import BertConfig
+from repro.bert.contrastive import contrastive_pretrain, info_nce_loss
+from repro.bert.model import BertModel
+from repro.data.loader import PairEncoder
+from repro.data.registry import load_dataset
+from repro.data.serialize import serialize_record
+from repro.data.schema import EntityRecord
+from repro.models import SingleTaskMatcher, TrainConfig
+from repro.models.selftraining import self_train
+from repro.nn.tensor import Tensor
+from repro.text import WordPieceTokenizer, train_wordpiece
+
+CFG = BertConfig(vocab_size=300, hidden_size=16, num_layers=1, num_heads=2,
+                 intermediate_size=32, max_position=96)
+
+CORPUS = [
+    "sandisk ultra compactflash card 4gb retail",
+    "transcend compactflash card industrial 8gb",
+    "samsung 850 evo ssd 1tb box",
+    "kingston usb drive 16gb",
+] * 3
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return WordPieceTokenizer(train_wordpiece(CORPUS, vocab_size=300))
+
+
+class TestDescribedSerialization:
+    def test_format(self):
+        record = EntityRecord.from_dict({"title": "evo ssd", "brand": "samsung"})
+        out = serialize_record(record, style="described")
+        assert out == "title is evo ssd . brand is samsung ."
+
+    def test_skips_empty(self):
+        record = EntityRecord.from_dict({"title": "evo", "brand": ""})
+        assert "brand" not in serialize_record(record, style="described")
+
+    def test_no_special_tokens(self):
+        record = EntityRecord.from_dict({"title": "evo"})
+        out = serialize_record(record, style="described")
+        assert "[COL]" not in out and "[VAL]" not in out
+
+    def test_encoder_accepts_style(self, tokenizer):
+        from repro.data.schema import EntityPair
+
+        enc = PairEncoder(tokenizer, max_length=64, style="described")
+        pair = EntityPair(
+            EntityRecord.from_dict({"t": "evo"}),
+            EntityRecord.from_dict({"t": "pro"}, source="b"), 0)
+        encoded = enc.encode(pair)
+        assert encoded.length > 0
+
+
+class TestInfoNCE:
+    def test_aligned_views_low_loss(self):
+        rng = np.random.default_rng(0)
+        view = Tensor(rng.normal(size=(8, 16)).astype(np.float32) * 10)
+        aligned = info_nce_loss(view, view, temperature=0.05)
+        shuffled = Tensor(np.roll(view.data, 1, axis=0))
+        misaligned = info_nce_loss(view, shuffled, temperature=0.05)
+        assert float(aligned.data) < float(misaligned.data)
+
+    def test_loss_differentiable(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(4, 8)).astype(np.float32), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 8)).astype(np.float32))
+        info_nce_loss(a, b).backward()
+        assert a.grad is not None
+
+
+class TestContrastivePretrain:
+    def test_loss_decreases(self, tokenizer):
+        cfg = CFG.with_vocab(len(tokenizer.vocab))
+        model = BertModel(cfg, np.random.default_rng(0))
+        result = contrastive_pretrain(model, tokenizer, CORPUS, steps=30,
+                                      batch_size=8, lr=5e-4)
+        assert np.mean(result.losses[-5:]) < np.mean(result.losses[:5])
+
+    def test_empty_corpus_raises(self, tokenizer):
+        cfg = CFG.with_vocab(len(tokenizer.vocab))
+        model = BertModel(cfg, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            contrastive_pretrain(model, tokenizer, [])
+
+    def test_model_left_in_eval(self, tokenizer):
+        cfg = CFG.with_vocab(len(tokenizer.vocab))
+        model = BertModel(cfg, np.random.default_rng(0))
+        contrastive_pretrain(model, tokenizer, CORPUS, steps=2, batch_size=4)
+        assert not model.training
+
+
+class TestSelfTraining:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        ds = load_dataset("wdc_computers", size="medium")
+        texts = [r.text() for p in ds.all_pairs() for r in (p.record1, p.record2)]
+        tok = WordPieceTokenizer(train_wordpiece(texts, vocab_size=500))
+        cfg = BertConfig(vocab_size=len(tok.vocab), hidden_size=16,
+                         num_layers=1, num_heads=2, intermediate_size=32,
+                         max_position=96, dropout=0.0, attention_dropout=0.0)
+        enc = PairEncoder(tok, max_length=96)
+        encoded = enc.encode_many(ds.train, ds)
+        return {
+            "cfg": cfg,
+            "labeled": encoded[:40],
+            "unlabeled": encoded[40:120],
+            "valid": enc.encode_many(ds.valid, ds),
+        }
+
+    def _factory(self, cfg):
+        def make():
+            bert = BertModel(cfg, np.random.default_rng(0))
+            return SingleTaskMatcher(bert, cfg.hidden_size, np.random.default_rng(1))
+        return make
+
+    def test_rounds_and_bookkeeping(self, setup):
+        result = self_train(
+            self._factory(setup["cfg"]), setup["labeled"], setup["unlabeled"],
+            setup["valid"], TrainConfig(epochs=2, seed=0), rounds=2,
+            confidence=0.6,
+        )
+        assert 1 <= result.rounds_run <= 2
+        assert len(result.valid_f1_per_round) == result.rounds_run
+        assert result.pseudo_labels_per_round[0] == 0
+
+    def test_pseudo_labels_added(self, setup):
+        result = self_train(
+            self._factory(setup["cfg"]), setup["labeled"], setup["unlabeled"],
+            setup["valid"], TrainConfig(epochs=1, seed=0), rounds=2,
+            confidence=0.51,
+        )
+        # With a loose confidence threshold nearly everything is adopted.
+        if result.rounds_run == 2:
+            assert result.pseudo_labels_per_round[1] > 0
+
+    def test_validation(self, setup):
+        with pytest.raises(ValueError):
+            self_train(self._factory(setup["cfg"]), [], [], [],
+                       TrainConfig(), confidence=0.4)
+        with pytest.raises(ValueError):
+            self_train(self._factory(setup["cfg"]), [], [], [],
+                       TrainConfig(), rounds=0)

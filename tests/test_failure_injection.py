@@ -1,0 +1,108 @@
+"""Failure-injection tests: the pipeline must degrade, not crash.
+
+Covers label noise, out-of-vocabulary floods, degenerate batches, and
+truncation extremes — the failure modes a production EM service meets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bert.config import BertConfig
+from repro.bert.model import BertModel
+from repro.data.loader import PairEncoder, collate
+from repro.data.registry import load_dataset
+from repro.data.schema import EntityPair, EntityRecord
+from repro.models import Emba, SingleTaskMatcher, TrainConfig, Trainer
+from repro.text import WordPieceTokenizer, train_wordpiece
+
+CFG = BertConfig(vocab_size=300, hidden_size=16, num_layers=1, num_heads=2,
+                 intermediate_size=32, max_position=96, dropout=0.0,
+                 attention_dropout=0.0)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = load_dataset("wdc_computers", size="small")
+    texts = [r.text() for p in ds.all_pairs() for r in (p.record1, p.record2)]
+    tok = WordPieceTokenizer(train_wordpiece(texts, vocab_size=400))
+    cfg = CFG.with_vocab(len(tok.vocab))
+    enc = PairEncoder(tok, max_length=96)
+    return {"ds": ds, "tok": tok, "cfg": cfg, "enc": enc}
+
+
+def fresh_model(setup, cls=SingleTaskMatcher):
+    bert = BertModel(setup["cfg"], np.random.default_rng(0))
+    if cls is SingleTaskMatcher:
+        return cls(bert, setup["cfg"].hidden_size, np.random.default_rng(1))
+    return cls(bert, setup["cfg"].hidden_size, setup["ds"].num_id_classes,
+               np.random.default_rng(1))
+
+
+class TestLabelNoise:
+    def test_training_survives_flipped_labels(self, setup):
+        rng = np.random.default_rng(0)
+        noisy = []
+        for p in setup["ds"].train:
+            label = p.label if rng.random() > 0.3 else 1 - p.label
+            noisy.append(EntityPair(p.record1, p.record2, label))
+        encoded = setup["enc"].encode_many(noisy, setup["ds"])
+        model = fresh_model(setup)
+        result = Trainer(TrainConfig(epochs=2, seed=0)).fit(
+            model, encoded, encoded[:16])
+        assert all(np.isfinite(loss) for loss in result.train_losses)
+
+    def test_all_one_class_training(self, setup):
+        negatives = [p for p in setup["ds"].train if p.label == 0][:24]
+        encoded = setup["enc"].encode_many(negatives, setup["ds"])
+        model = fresh_model(setup)
+        result = Trainer(TrainConfig(epochs=2, seed=0)).fit(model, encoded, [])
+        assert np.isfinite(result.train_losses[-1])
+
+
+class TestInputFloods:
+    def test_out_of_vocabulary_flood(self, setup):
+        pair = EntityPair(
+            EntityRecord.from_dict({"t": "Ω≈ç√∫ xxqqzz 日本語 " * 5}),
+            EntityRecord.from_dict({"t": "ΔΦΨ zzyyxx"}, source="b"), 0)
+        batch = collate([setup["enc"].encode(pair)])
+        model = fresh_model(setup)
+        preds = model.predict(batch)
+        assert np.isfinite(preds["em_prob"]).all()
+
+    def test_pathological_repetition(self, setup):
+        pair = EntityPair(
+            EntityRecord.from_dict({"t": "samsung " * 500}),
+            EntityRecord.from_dict({"t": "samsung " * 500}, source="b"), 1)
+        encoded = setup["enc"].encode(pair)
+        assert encoded.length <= 96
+        model = fresh_model(setup)
+        preds = model.predict(collate([encoded]))
+        assert np.isfinite(preds["em_prob"]).all()
+
+    def test_single_char_records(self, setup):
+        pair = EntityPair(
+            EntityRecord.from_dict({"t": "a"}),
+            EntityRecord.from_dict({"t": "b"}, source="x"), 0)
+        model = fresh_model(setup, Emba)
+        preds = model.predict(collate([setup["enc"].encode(pair)]))
+        assert np.isfinite(preds["em_prob"]).all()
+
+
+class TestDegenerateBatches:
+    def test_batch_of_one(self, setup):
+        encoded = setup["enc"].encode_many(setup["ds"].train[:1], setup["ds"])
+        model = fresh_model(setup, Emba)
+        out = model(collate(encoded))
+        loss = model.loss(out, collate(encoded))
+        loss.backward()
+        assert np.isfinite(loss.data)
+
+    def test_aoa_with_empty_record1_span(self, setup):
+        # Record 1 has no description tokens at all.
+        pair = EntityPair(
+            EntityRecord.from_dict({"t": ""}),
+            EntityRecord.from_dict({"t": "samsung evo"}, source="b"), 0)
+        batch = collate([setup["enc"].encode(pair)])
+        model = fresh_model(setup, Emba)
+        preds = model.predict(batch)
+        assert np.isfinite(preds["em_prob"]).all()

@@ -1,0 +1,108 @@
+"""Tests for the fastText subword embedding model and trainer."""
+
+import numpy as np
+import pytest
+
+from repro.fasttext import FastTextEmbeddings, FastTextEncoder, train_fasttext
+from repro.text import SubwordHasher, Vocabulary
+
+RNG = np.random.default_rng(3)
+
+CORPUS = [
+    "sandisk compactflash card retail",
+    "transcend compactflash card industrial",
+    "samsung evo ssd retail",
+    "kingston usb drive retail",
+    "sandisk ultra card retail",
+] * 2
+
+
+@pytest.fixture(scope="module")
+def vocab():
+    return Vocabulary(["sandisk", "##disk", "compactflash", "card", "retail",
+                       "samsung", "evo", "ssd"])
+
+
+@pytest.fixture(scope="module")
+def hasher():
+    return SubwordHasher(num_buckets=256)
+
+
+class TestFastTextEmbeddings:
+    def test_output_shape(self, vocab, hasher):
+        emb = FastTextEmbeddings(vocab, hasher, dim=16, rng=RNG)
+        ids = np.zeros((2, 5), dtype=np.int64)
+        assert emb(ids).shape == (2, 5, 16)
+
+    def test_continuation_marker_stripped(self, vocab, hasher):
+        emb = FastTextEmbeddings(vocab, hasher, dim=16, rng=RNG)
+        plain = vocab.token_to_id("sandisk")
+        # '##disk' hashes the word 'disk', which shares grams with 'sandisk'.
+        cont = vocab.token_to_id("##disk")
+        a = emb(np.array([[plain]])).data[0, 0]
+        b = emb(np.array([[cont]])).data[0, 0]
+        assert a.shape == b.shape
+
+    def test_pretrained_buckets_used(self, vocab, hasher):
+        pretrained = np.full((256, 8), 0.5, dtype=np.float32)
+        emb = FastTextEmbeddings(vocab, hasher, dim=8, rng=RNG,
+                                 pretrained_buckets=pretrained)
+        out = emb(np.array([[vocab.token_to_id("card")]]))
+        np.testing.assert_allclose(out.data, 0.5, rtol=1e-5)
+
+    def test_pretrained_shape_validation(self, vocab, hasher):
+        with pytest.raises(ValueError):
+            FastTextEmbeddings(vocab, hasher, dim=8, rng=RNG,
+                               pretrained_buckets=np.zeros((10, 8)))
+
+    def test_gradients_reach_buckets(self, vocab, hasher):
+        emb = FastTextEmbeddings(vocab, hasher, dim=8, rng=RNG)
+        out = emb(np.array([[vocab.token_to_id("evo")]]))
+        out.sum().backward()
+        assert emb.buckets.grad is not None
+        assert np.abs(emb.buckets.grad).sum() > 0
+
+
+class TestFastTextEncoder:
+    def test_bert_contract(self, vocab, hasher):
+        enc = FastTextEncoder(vocab, hasher, dim=16, rng=RNG)
+        ids = np.ones((2, 6), dtype=np.int64)
+        out = enc(ids, np.ones((2, 6)))
+        assert out.sequence.shape == (2, 6, 16)
+        assert out.pooled.shape == (2, 16)
+        assert out.attentions == []
+
+    def test_pooled_respects_mask(self, vocab, hasher):
+        enc = FastTextEncoder(vocab, hasher, dim=16, rng=RNG)
+        ids = np.array([[1, 2, 3, 4]], dtype=np.int64)
+        full = enc(ids, np.ones((1, 4))).pooled.data
+        partial = enc(ids, np.array([[1.0, 1.0, 0.0, 0.0]])).pooled.data
+        assert not np.allclose(full, partial)
+
+
+class TestTrainer:
+    def test_returns_bucket_matrix(self, hasher):
+        vectors = train_fasttext(CORPUS, hasher, dim=12, epochs=1)
+        assert vectors.shape == (256, 12)
+        assert vectors.dtype == np.float32
+
+    def test_cooccurring_words_more_similar(self, hasher):
+        vectors = train_fasttext(CORPUS, hasher, dim=24, epochs=8, seed=1)
+
+        def word_vec(w):
+            v = vectors[hasher.word_buckets(w)].mean(axis=0)
+            return v / (np.linalg.norm(v) + 1e-9)
+
+        # 'compactflash' co-occurs with 'card' but never with 'ssd'.
+        sim_card = word_vec("compactflash") @ word_vec("card")
+        sim_ssd = word_vec("compactflash") @ word_vec("ssd")
+        assert sim_card > sim_ssd
+
+    def test_empty_corpus_raises(self, hasher):
+        with pytest.raises(ValueError):
+            train_fasttext(["single"], hasher)
+
+    def test_deterministic(self, hasher):
+        a = train_fasttext(CORPUS, hasher, dim=8, epochs=1, seed=7)
+        b = train_fasttext(CORPUS, hasher, dim=8, epochs=1, seed=7)
+        np.testing.assert_array_equal(a, b)

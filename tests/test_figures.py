@@ -1,0 +1,52 @@
+"""Smoke tests for the figure reproduction pipeline (tiny training)."""
+
+import pytest
+
+from repro.experiments import figures
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fast_case_models(tmp_path_factory):
+    """Isolate the cache and clear the per-process model memo."""
+    import os
+
+    cache = tmp_path_factory.mktemp("cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache)
+    figures._trained_case_model.cache_clear()
+    yield
+    figures._trained_case_model.cache_clear()
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
+class TestFigures:
+    def test_figure5_structure(self):
+        result = figures.figure5(epochs=2)
+        assert "Figure 5" in result.rendered
+        assert "jointbert" in result.rendered
+        assert "emba" in result.rendered
+        for model in ("jointbert", "emba"):
+            assert 0.0 <= result.artifacts[model]["prob"] <= 1.0
+            assert result.artifacts[model]["importances"]
+
+    def test_figure6_structure(self):
+        result = figures.figure6(epochs=2)
+        assert "Figure 6" in result.rendered
+        assert "AoA gamma" in result.rendered
+        gamma = result.artifacts["emba"]["gamma"]
+        assert len(gamma.words) > 0
+
+    def test_models_memoized_across_figures(self):
+        # figure5 + figure6 above trained each model once; the memo now
+        # holds both entries with epochs=2.
+        info = figures._trained_case_model.cache_info()
+        assert info.currsize >= 2
+        assert info.hits >= 1
+
+    def test_save(self, tmp_path):
+        result = figures.figure5(epochs=2)
+        out = result.save(tmp_path)
+        assert out.read_text().startswith("Figure 5")

@@ -1,0 +1,63 @@
+"""Tests for remaining utilities: RandomState, corpus builder, throughput."""
+
+import numpy as np
+import pytest
+
+from repro.data.registry import load_dataset
+from repro.nn.random import RandomState, seed_all
+from repro.text.corpus import build_corpus
+
+
+class TestRandomState:
+    def test_children_independent(self):
+        rs = RandomState(0)
+        a = rs.child("init").random(5)
+        b = rs.child("data").random(5)
+        assert not np.allclose(a, b)
+
+    def test_children_reproducible(self):
+        a = RandomState(7).child("init").random(5)
+        b = RandomState(7).child("init").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomState(1).child("x").random(5)
+        b = RandomState(2).child("x").random(5)
+        assert not np.allclose(a, b)
+
+    def test_seed_all(self):
+        a = seed_all(3).random(4)
+        b = seed_all(3).random(4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestCorpus:
+    def test_deduplicates(self):
+        ds = load_dataset("bikes")
+        corpus = build_corpus([ds, ds])
+        assert len(corpus) == len(set(corpus))
+
+    def test_excludes_test_texts(self):
+        ds = load_dataset("bikes")
+        corpus = set(build_corpus([ds]))
+        train_texts = {r.text() for p in ds.train for r in (p.record1, p.record2)}
+        # Every train text present...
+        assert train_texts <= corpus
+        # ...and nothing beyond train+valid.
+        allowed = {r.text() for p in ds.train + ds.valid
+                   for r in (p.record1, p.record2)}
+        assert corpus <= allowed
+
+    def test_no_empty_texts(self):
+        ds = load_dataset("baby_products")
+        assert all(build_corpus([ds]))
+
+
+class TestModelThroughput:
+    def test_deepmatcher_throughput(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.experiments.efficiency import measure_model_throughput
+
+        result = measure_model_throughput("deepmatcher", min_seconds=0.05)
+        assert result["train_pairs_per_s"] > 0
+        assert result["infer_pairs_per_s"] > result["train_pairs_per_s"]

@@ -1,0 +1,257 @@
+"""Unit tests for the AoA module, heads, and each EM model's mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.bert.config import BertConfig
+from repro.bert.model import BertModel
+from repro.data.loader import PairEncoder, collate
+from repro.data.registry import load_dataset
+from repro.models import (
+    AttentionOverAttention,
+    DeepMatcher,
+    Ditto,
+    Emba,
+    EmbaCls,
+    EmbaSurfCon,
+    JointBert,
+    JointBertCT,
+    JointBertS,
+    JointBertT,
+    JointMatcher,
+    SingleTaskMatcher,
+)
+from repro.models.heads import MeanTokenHead, TokenAggregationHead, gather_positions
+from repro.models.jointmatcher import shared_token_mask
+from repro.nn.tensor import Tensor
+from repro.text import WordPieceTokenizer, train_wordpiece
+
+RNG = np.random.default_rng(17)
+
+CFG = BertConfig(vocab_size=300, hidden_size=16, num_layers=1, num_heads=2,
+                 intermediate_size=32, max_position=80, dropout=0.0,
+                 attention_dropout=0.0)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("wdc_computers", size="small")
+
+
+@pytest.fixture(scope="module")
+def tokenizer(dataset):
+    texts = [r.text() for p in dataset.all_pairs() for r in (p.record1, p.record2)]
+    return WordPieceTokenizer(train_wordpiece(texts, vocab_size=300))
+
+
+@pytest.fixture(scope="module")
+def batch(dataset, tokenizer):
+    enc = PairEncoder(tokenizer, max_length=64)
+    return collate(enc.encode_many(dataset.train[:6], dataset))
+
+
+@pytest.fixture()
+def encoder(tokenizer):
+    cfg = CFG.with_vocab(len(tokenizer.vocab))
+    model = BertModel(cfg, np.random.default_rng(0))
+    model.eval()
+    return model
+
+
+def all_models(encoder, tokenizer, dataset):
+    rng = np.random.default_rng(1)
+    h = CFG.hidden_size
+    c = dataset.num_id_classes
+    vocab = tokenizer.vocab
+    return {
+        "emba": Emba(encoder, h, c, rng),
+        "emba_cls": EmbaCls(encoder, h, c, rng),
+        "emba_surfcon": EmbaSurfCon(encoder, h, c, rng),
+        "jointbert": JointBert(encoder, h, c, rng),
+        "jointbert_s": JointBertS(encoder, h, c, rng),
+        "jointbert_t": JointBertT(encoder, h, c, rng),
+        "jointbert_ct": JointBertCT(encoder, h, c, rng),
+        "bert": SingleTaskMatcher(encoder, h, rng),
+        "ditto": Ditto(encoder, h, vocab, rng),
+        "jointmatcher": JointMatcher(encoder, h, vocab, rng),
+        "deepmatcher": DeepMatcher(len(vocab), rng, embed_dim=16, hidden=8),
+    }
+
+
+class TestAoA:
+    def _sequence(self, batch_size=2, seq=10, hidden=8):
+        return Tensor(RNG.normal(size=(batch_size, seq, hidden)).astype(np.float32))
+
+    def test_gamma_is_distribution_over_record1(self):
+        seq = self._sequence()
+        mask1 = np.zeros((2, 10), dtype=np.float32)
+        mask2 = np.zeros((2, 10), dtype=np.float32)
+        mask1[:, 1:4] = 1
+        mask2[:, 5:9] = 1
+        aoa = AttentionOverAttention()
+        x, gamma = aoa(seq, mask1, mask2)
+        np.testing.assert_allclose(gamma.sum(axis=1), np.ones(2), rtol=1e-5)
+        # No mass outside record1's span.
+        np.testing.assert_allclose(gamma * (1 - mask1), 0.0, atol=1e-6)
+
+    def test_output_shape(self):
+        seq = self._sequence()
+        mask1 = np.zeros((2, 10)); mask1[:, 1:4] = 1
+        mask2 = np.zeros((2, 10)); mask2[:, 5:9] = 1
+        x, _ = AttentionOverAttention()(seq, mask1, mask2)
+        assert x.shape == (2, 8)
+
+    def test_masked_invariant_to_padding(self):
+        # The batched masked implementation must equal the same computation
+        # on a longer padded sequence (the paper's per-sample semantics).
+        hidden = 8
+        data = RNG.normal(size=(1, 7, hidden)).astype(np.float32)
+        mask1 = np.array([[0, 1, 1, 0, 0, 0, 0]], dtype=np.float32)
+        mask2 = np.array([[0, 0, 0, 0, 1, 1, 0]], dtype=np.float32)
+        aoa = AttentionOverAttention()
+        x_short, gamma_short = aoa(Tensor(data), mask1, mask2)
+
+        padded = np.concatenate([data, RNG.normal(size=(1, 4, hidden)).astype(np.float32)], axis=1)
+        pm1 = np.concatenate([mask1, np.zeros((1, 4))], axis=1)
+        pm2 = np.concatenate([mask2, np.zeros((1, 4))], axis=1)
+        x_long, gamma_long = aoa(Tensor(padded), pm1, pm2)
+
+        np.testing.assert_allclose(x_short.data, x_long.data, atol=1e-5)
+        np.testing.assert_allclose(gamma_short, gamma_long[:, :7], atol=1e-5)
+
+    def test_unmasked_skewed_by_padding(self):
+        # The paper's negative result: naive (unmasked) AoA changes with padding.
+        hidden = 8
+        data = RNG.normal(size=(1, 7, hidden)).astype(np.float32)
+        mask1 = np.array([[0, 1, 1, 0, 0, 0, 0]], dtype=np.float32)
+        mask2 = np.array([[0, 0, 0, 0, 1, 1, 0]], dtype=np.float32)
+        aoa = AttentionOverAttention(masked=False)
+        x_short, _ = aoa(Tensor(data), mask1, mask2)
+        padded = np.concatenate([data, RNG.normal(size=(1, 4, hidden)).astype(np.float32)], axis=1)
+        pm1 = np.concatenate([mask1, np.zeros((1, 4))], axis=1)
+        pm2 = np.concatenate([mask2, np.zeros((1, 4))], axis=1)
+        x_long, _ = aoa(Tensor(padded), pm1, pm2)
+        assert not np.allclose(x_short.data, x_long.data, atol=1e-5)
+
+    def test_gradients_flow_through_aoa(self):
+        seq = Tensor(RNG.normal(size=(1, 6, 8)).astype(np.float32), requires_grad=True)
+        mask1 = np.array([[0, 1, 1, 0, 0, 0]], dtype=np.float32)
+        mask2 = np.array([[0, 0, 0, 1, 1, 0]], dtype=np.float32)
+        x, _ = AttentionOverAttention()(seq, mask1, mask2)
+        x.sum().backward()
+        assert seq.grad is not None
+        assert np.abs(seq.grad).sum() > 0
+
+
+class TestHeads:
+    def test_token_aggregation_shape(self):
+        head = TokenAggregationHead(8, 5, RNG)
+        seq = Tensor(RNG.normal(size=(3, 6, 8)).astype(np.float32))
+        mask = np.ones((3, 6))
+        assert head(seq, mask).shape == (3, 5)
+
+    def test_token_aggregation_ignores_masked(self):
+        head = TokenAggregationHead(8, 5, np.random.default_rng(0))
+        base = RNG.normal(size=(1, 6, 8)).astype(np.float32)
+        mask = np.array([[1, 1, 1, 0, 0, 0]], dtype=np.float32)
+        out1 = head(Tensor(base), mask).data
+        modified = base.copy()
+        modified[:, 3:] = 99.0  # outside mask
+        out2 = head(Tensor(modified), mask).data
+        np.testing.assert_allclose(out1, out2, atol=1e-5)
+
+    def test_mean_token_head(self):
+        head = MeanTokenHead(8, 4, RNG)
+        seq = Tensor(RNG.normal(size=(2, 5, 8)).astype(np.float32))
+        assert head(seq, np.ones((2, 5))).shape == (2, 4)
+
+    def test_gather_positions(self):
+        seq = Tensor(np.arange(24.0).reshape(2, 3, 4))
+        out = gather_positions(seq, np.array([2, 0]))
+        np.testing.assert_allclose(out.data, [seq.data[0, 2], seq.data[1, 0]])
+
+
+class TestModelForward:
+    @pytest.mark.parametrize("name", [
+        "emba", "emba_cls", "emba_surfcon", "jointbert", "jointbert_s",
+        "jointbert_t", "jointbert_ct", "bert", "ditto", "jointmatcher",
+        "deepmatcher",
+    ])
+    def test_forward_loss_grad(self, name, encoder, tokenizer, dataset, batch):
+        model = all_models(encoder, tokenizer, dataset)[name]
+        out = model(batch)
+        assert out.em_logits.shape == (batch.size,)
+        loss = model.loss(out, batch)
+        assert np.isfinite(loss.data)
+        loss.backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert grads, f"{name} produced no gradients"
+
+    def test_multi_task_models_emit_id_logits(self, encoder, tokenizer, dataset, batch):
+        models = all_models(encoder, tokenizer, dataset)
+        for name in ("emba", "jointbert", "jointbert_s", "jointbert_t",
+                     "jointbert_ct", "emba_cls", "emba_surfcon"):
+            out = models[name](batch)
+            assert out.id1_logits.shape == (batch.size, dataset.num_id_classes)
+            assert out.id2_logits.shape == (batch.size, dataset.num_id_classes)
+
+    def test_single_task_models_have_no_id_logits(self, encoder, tokenizer, dataset, batch):
+        models = all_models(encoder, tokenizer, dataset)
+        for name in ("bert", "ditto", "jointmatcher", "deepmatcher"):
+            out = models[name](batch)
+            assert out.id1_logits is None and out.id2_logits is None
+
+    def test_emba_exposes_gamma(self, encoder, tokenizer, dataset, batch):
+        out = all_models(encoder, tokenizer, dataset)["emba"](batch)
+        assert out.aoa_gamma is not None
+        assert out.aoa_gamma.shape == batch.mask1.shape
+
+    def test_predict_interface(self, encoder, tokenizer, dataset, batch):
+        model = all_models(encoder, tokenizer, dataset)["emba"]
+        preds = model.predict(batch)
+        assert set(preds) >= {"em_prob", "em_pred", "id1_pred", "id2_pred"}
+        assert ((preds["em_prob"] >= 0) & (preds["em_prob"] <= 1)).all()
+        assert set(np.unique(preds["em_pred"])) <= {0, 1}
+
+    def test_predict_restores_training_mode(self, encoder, tokenizer, dataset, batch):
+        model = all_models(encoder, tokenizer, dataset)["jointbert"]
+        model.train()
+        model.predict(batch)
+        assert model.training
+
+    def test_deepmatcher_pos_weight_in_loss(self, encoder, tokenizer, dataset):
+        # Build a batch guaranteed to contain a positive pair.
+        enc = PairEncoder(tokenizer, max_length=64)
+        positives = [p for p in dataset.train if p.label == 1][:2]
+        negatives = [p for p in dataset.train if p.label == 0][:2]
+        batch = collate(enc.encode_many(positives + negatives, dataset))
+        rng = np.random.default_rng(0)
+        plain = DeepMatcher(len(tokenizer.vocab), rng, embed_dim=16, hidden=8)
+        rng = np.random.default_rng(0)
+        weighted = DeepMatcher(len(tokenizer.vocab), rng, embed_dim=16, hidden=8,
+                               pos_weight=5.0)
+        loss_plain = plain.loss(plain(batch), batch)
+        loss_weighted = weighted.loss(weighted(batch), batch)
+        assert float(loss_plain.data) != pytest.approx(float(loss_weighted.data))
+
+
+class TestJointMatcherMasks:
+    def test_shared_token_mask(self, tokenizer):
+        from repro.data.schema import EntityPair, EntityRecord
+        enc = PairEncoder(tokenizer, max_length=48)
+        pair = EntityPair(
+            EntityRecord.from_dict({"t": "samsung evo retail"}),
+            EntityRecord.from_dict({"t": "samsung pro bulk"}, source="b"),
+            0,
+        )
+        encoded = enc.encode(pair)
+        batch = collate([encoded])
+        shared = shared_token_mask(batch)
+        # 'samsung' pieces occur in both records, so some flags are set.
+        assert shared[0].sum() > 0
+        # Invariant: a flagged token's id occurs in both records' spans.
+        ids1 = set(batch.input_ids[0][batch.mask1[0] > 0].tolist())
+        ids2 = set(batch.input_ids[0][batch.mask2[0] > 0].tolist())
+        for token_id, flag in zip(batch.input_ids[0], shared[0]):
+            if flag:
+                assert int(token_id) in ids1 and int(token_id) in ids2

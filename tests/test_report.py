@@ -1,0 +1,44 @@
+"""Tests for the reproduction-report assembler."""
+
+import json
+
+from repro.experiments.report import build_report, run_cache_summary, write_report
+
+
+class TestReport:
+    def test_sections_in_order(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table2_em_f1.txt").write_text("Table 2 content")
+        (results / "table1_datasets.txt").write_text("Table 1 content")
+        (results / "zz_custom.txt").write_text("custom content")
+        report = build_report(results)
+        assert report.index("Table 1 content") < report.index("Table 2 content")
+        assert "custom content" in report
+
+    def test_populate_log_excluded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "populate_log.txt").write_text("noise")
+        assert "noise" not in build_report(results)
+
+    def test_run_cache_summary(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "abc.json").write_text(json.dumps(
+            {"spec_model": "emba", "spec_dataset": "bikes",
+             "train_seconds": 30.0}))
+        summary = run_cache_summary()
+        assert summary["num_runs"] == 1
+        assert summary["models"] == {"emba": 1}
+
+    def test_write_report(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table1_datasets.txt").write_text("x")
+        out = write_report(results, tmp_path / "REPORT.md")
+        assert out.read_text().startswith("# Reproduction report")

@@ -1,0 +1,48 @@
+"""Pure-logic tests for the table assembly helpers (no training)."""
+
+import pytest
+
+from repro.experiments.tables import TableResult, _collect, _mean_std, _render
+
+
+class TestMeanStd:
+    def test_single_value(self):
+        assert _mean_std([0.5]) == "50.00"
+
+    def test_multiple_values(self):
+        out = _mean_std([0.5, 0.7])
+        assert out.startswith("60.00(±")
+        assert out.endswith(")")
+
+    def test_std_value(self):
+        out = _mean_std([0.4, 0.6])
+        assert "±10.00" in out
+
+
+class TestCollect:
+    def test_grouping(self):
+        results = [
+            {"spec_dataset": "bikes", "spec_size": "default",
+             "spec_model": "emba", "em_f1": 0.5},
+            {"spec_dataset": "bikes", "spec_size": "default",
+             "spec_model": "emba", "em_f1": 0.6},
+            {"spec_dataset": "books", "spec_size": "default",
+             "spec_model": "emba", "em_f1": 0.7},
+        ]
+        grouped = _collect(results)
+        assert len(grouped[("bikes", "default", "emba")]) == 2
+        assert len(grouped[("books", "default", "emba")]) == 1
+
+
+class TestRender:
+    def test_table_result_contains_rendering(self):
+        result = _render("t", "Title", ["a"], [["x"]])
+        assert isinstance(result, TableResult)
+        assert "Title" in result.rendered
+        assert result.rows == [["x"]]
+
+    def test_save(self, tmp_path):
+        result = _render("mytable", "T", ["a"], [[1]])
+        out = result.save(tmp_path)
+        assert out.name == "mytable.txt"
+        assert out.read_text().startswith("T")

@@ -1,0 +1,126 @@
+"""Tests for the multi-task trainer (Algorithm 1) and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.bert.config import BertConfig
+from repro.bert.model import BertModel
+from repro.data.loader import PairEncoder
+from repro.data.registry import load_dataset
+from repro.models import Emba, JointBert, SingleTaskMatcher
+from repro.models.trainer import EarlyStopping, TrainConfig, Trainer
+from repro.text import WordPieceTokenizer, train_wordpiece
+
+CFG = BertConfig(vocab_size=300, hidden_size=16, num_layers=1, num_heads=2,
+                 intermediate_size=32, max_position=80, dropout=0.0,
+                 attention_dropout=0.0)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = load_dataset("wdc_computers", size="small")
+    texts = [r.text() for p in ds.all_pairs() for r in (p.record1, p.record2)]
+    tok = WordPieceTokenizer(train_wordpiece(texts, vocab_size=500))
+    cfg = CFG.with_vocab(len(tok.vocab))
+    enc = PairEncoder(tok, max_length=cfg.max_position)
+    return {
+        "dataset": ds,
+        "config": cfg,
+        "train": enc.encode_many(ds.train, ds),
+        "valid": enc.encode_many(ds.valid, ds),
+    }
+
+
+def fresh_model(setup, cls=Emba):
+    encoder = BertModel(setup["config"], np.random.default_rng(0))
+    if cls is SingleTaskMatcher:
+        return cls(encoder, setup["config"].hidden_size, np.random.default_rng(1))
+    return cls(encoder, setup["config"].hidden_size,
+               setup["dataset"].num_id_classes, np.random.default_rng(1))
+
+
+class TestEarlyStopping:
+    def test_improvement_resets_counter(self):
+        stop = EarlyStopping(patience=2)
+        assert not stop.update(0.1, 0)
+        assert not stop.update(0.05, 1)
+        assert not stop.update(0.2, 2)   # improvement resets
+        assert not stop.update(0.1, 3)
+        assert stop.update(0.1, 4)       # two non-improvements -> stop
+
+    def test_best_epoch_tracked(self):
+        stop = EarlyStopping(patience=3)
+        for epoch, value in enumerate([0.1, 0.5, 0.3, 0.2]):
+            stop.update(value, epoch)
+        assert stop.best_epoch == 1
+        assert stop.best == 0.5
+
+    def test_patience_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, setup):
+        model = fresh_model(setup)
+        trainer = Trainer(TrainConfig(epochs=4, learning_rate=1e-3, seed=0,
+                                      patience=4))
+        result = trainer.fit(model, setup["train"], setup["valid"])
+        assert result.train_losses[-1] < result.train_losses[0]
+
+    def test_early_stopping_limits_epochs(self, setup):
+        model = fresh_model(setup, SingleTaskMatcher)
+        # With lr=0 nothing improves, so training stops after patience epochs
+        # past the first.
+        trainer = Trainer(TrainConfig(epochs=30, learning_rate=0.0, patience=2,
+                                      seed=0))
+        result = trainer.fit(model, setup["train"], setup["valid"])
+        assert result.epochs_run <= 4
+
+    def test_best_state_restored(self, setup):
+        model = fresh_model(setup)
+        trainer = Trainer(TrainConfig(epochs=3, learning_rate=1e-3, seed=0))
+        result = trainer.fit(model, setup["train"], setup["valid"])
+        restored_f1 = trainer.evaluate_f1(model, setup["valid"])
+        assert restored_f1 == pytest.approx(result.best_valid_f1, abs=1e-9)
+
+    def test_empty_train_raises(self, setup):
+        model = fresh_model(setup)
+        with pytest.raises(ValueError):
+            Trainer().fit(model, [], setup["valid"])
+
+    def test_no_valid_set_runs_all_epochs(self, setup):
+        model = fresh_model(setup, SingleTaskMatcher)
+        trainer = Trainer(TrainConfig(epochs=2, learning_rate=1e-3, seed=0))
+        result = trainer.fit(model, setup["train"][:16], [])
+        assert result.epochs_run == 2
+
+    def test_model_left_in_eval_mode(self, setup):
+        model = fresh_model(setup)
+        Trainer(TrainConfig(epochs=1, seed=0)).fit(
+            model, setup["train"][:16], setup["valid"][:8]
+        )
+        assert not model.training
+
+    def test_deterministic_given_seed(self, setup):
+        results = []
+        for _ in range(2):
+            model = fresh_model(setup, SingleTaskMatcher)
+            trainer = Trainer(TrainConfig(epochs=2, learning_rate=1e-3, seed=42))
+            r = trainer.fit(model, setup["train"][:32], setup["valid"][:16])
+            results.append(r.train_losses)
+        np.testing.assert_allclose(results[0], results[1], rtol=1e-5)
+
+    def test_predict_all_keys_and_lengths(self, setup):
+        model = fresh_model(setup, JointBert)
+        trainer = Trainer(TrainConfig(epochs=1, seed=0))
+        trainer.fit(model, setup["train"][:16], [])
+        preds = trainer.predict_all(model, setup["valid"])
+        n = len(setup["valid"])
+        for key in ("em_prob", "em_pred", "id1_pred", "id2_pred",
+                    "labels", "id1", "id2"):
+            assert len(preds[key]) == n
+
+    def test_evaluate_f1_empty_split(self, setup):
+        model = fresh_model(setup)
+        assert Trainer().evaluate_f1(model, []) == 0.0

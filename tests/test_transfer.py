@@ -1,0 +1,30 @@
+"""Smoke test for the zero-shot transfer protocol (tiny config)."""
+
+import pytest
+
+from repro.experiments.transfer import cross_domain_eval
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+def test_cross_domain_eval_structure(monkeypatch):
+    # Shrink the schedule so the smoke test stays fast.
+    import repro.experiments.transfer as transfer
+
+    monkeypatch.setattr(
+        transfer, "training_schedule",
+        lambda dataset, size: {"epochs": 2, "patience": 2,
+                               "learning_rate": 1e-3},
+    )
+    result = cross_domain_eval("wdc_computers", "wdc_cameras",
+                               source_size="small", target_size="small",
+                               vocab_size=500)
+    assert set(result) == {"source", "target", "model", "in_domain_f1",
+                           "zero_shot_f1", "transfer_gap"}
+    assert 0.0 <= result["in_domain_f1"] <= 1.0
+    assert 0.0 <= result["zero_shot_f1"] <= 1.0
+    assert result["transfer_gap"] == pytest.approx(
+        result["in_domain_f1"] - result["zero_shot_f1"])
