@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo check: tier-1 tests plus the inference-engine benchmark smoke.
+#
+#   bash scripts/check.sh
+#
+# The bench compares naive vs. bucketed+memoized scoring on a
+# blocking-shaped workload and appends its report to
+# results/ext_engine.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== engine benchmark smoke =="
+python -m pytest -q benchmarks/bench_engine.py
+
+echo "== results =="
+cat results/ext_engine.txt

@@ -2,8 +2,11 @@
 
 Combines any :class:`~repro.blocking.base.Blocker` with a trained
 :class:`~repro.models.base.EMModel`: blocking prunes the cross product,
-the matcher scores the surviving candidates, and the pipeline returns
-the predicted match pairs with probabilities.
+the matcher scores the surviving candidates through the shared
+:class:`~repro.engine.core.InferenceEngine` (length-bucketed batches,
+record-level memoization — blocking output repeats each record across
+many candidate pairs, so the memo hit rate is high), and the pipeline
+returns the predicted match pairs with probabilities.
 """
 
 from __future__ import annotations
@@ -12,8 +15,9 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.blocking.base import Blocker
-from repro.data.loader import PairEncoder, collate
+from repro.data.loader import PairEncoder
 from repro.data.schema import EntityPair, EntityRecord
+from repro.engine import EngineConfig, EngineStats, InferenceEngine
 from repro.models.base import EMModel
 
 
@@ -24,17 +28,19 @@ class MatchDecision:
     left: int
     right: int
     probability: float
+    threshold: float = 0.5
 
     @property
     def is_match(self) -> bool:
-        return self.probability >= 0.5
+        return self.probability >= self.threshold
 
 
 class MatchingPipeline:
     """Blocking + neural matching over two record collections."""
 
     def __init__(self, blocker: Blocker, model: EMModel, encoder: PairEncoder,
-                 batch_size: int = 32, threshold: float = 0.5):
+                 batch_size: int = 32, threshold: float = 0.5,
+                 engine_config: EngineConfig | None = None):
         if not 0.0 < threshold < 1.0:
             raise ValueError("threshold must be in (0, 1)")
         self.blocker = blocker
@@ -42,29 +48,32 @@ class MatchingPipeline:
         self.encoder = encoder
         self.batch_size = batch_size
         self.threshold = threshold
+        if engine_config is None:
+            engine_config = EngineConfig(batch_size=batch_size,
+                                         threshold=threshold)
+        self.engine = InferenceEngine(model, encoder, engine_config)
+
+    @property
+    def stats(self) -> EngineStats:
+        """Scoring counters of the underlying inference engine."""
+        return self.engine.stats
 
     def match(self, left: Sequence[EntityRecord],
               right: Sequence[EntityRecord]) -> list[MatchDecision]:
         """Score every blocking candidate; return decisions sorted by prob."""
         result = self.blocker.block(left, right)
-        decisions: list[MatchDecision] = []
         candidates = result.candidates
-        for start in range(0, len(candidates), self.batch_size):
-            chunk = candidates[start:start + self.batch_size]
-            encoded = [
-                self.encoder.encode(EntityPair(left[c.left], right[c.right], 0))
-                for c in chunk
-            ]
-            probs = self.model.predict(collate(encoded))["em_prob"]
-            decisions.extend(
-                MatchDecision(c.left, c.right, float(p))
-                for c, p in zip(chunk, probs)
-            )
+        pairs = [EntityPair(left[c.left], right[c.right], 0)
+                 for c in candidates]
+        probs = self.engine.predict_proba(pairs)
+        decisions = [
+            MatchDecision(c.left, c.right, float(p), threshold=self.threshold)
+            for c, p in zip(candidates, probs)
+        ]
         decisions.sort(key=lambda d: d.probability, reverse=True)
         return decisions
 
     def matches(self, left: Sequence[EntityRecord],
                 right: Sequence[EntityRecord]) -> list[MatchDecision]:
         """Only the decisions at or above the match threshold."""
-        return [d for d in self.match(left, right)
-                if d.probability >= self.threshold]
+        return [d for d in self.match(left, right) if d.is_match]

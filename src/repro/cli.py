@@ -7,6 +7,8 @@ Commands
 - ``table N``                  regenerate one of the paper's tables (1-7)
 - ``figure N``                 regenerate Figure 5 or 6
 - ``casestudy``                print the Section 4.7 case-study pair
+- ``profile-engine``           time the batched inference engine vs. the
+                               naive scoring loop on a blocking workload
 """
 
 from __future__ import annotations
@@ -87,6 +89,18 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_profile_engine(args) -> int:
+    from repro.engine.profile import profile_engine_workload, render_profile
+
+    report = profile_engine_workload(
+        dataset=args.dataset, size=args.size, model_name=args.model,
+        batch_size=args.batch_size, max_pairs=args.max_pairs,
+        repeats=args.repeats,
+    )
+    print(render_profile(report))
+    return 0
+
+
 def _cmd_casestudy(args) -> int:
     from repro.experiments.casestudy import case_study_pair
 
@@ -130,6 +144,18 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--dataset", required=True)
     profile.add_argument("--size", default="default")
     profile.set_defaults(fn=_cmd_profile)
+
+    engine = sub.add_parser(
+        "profile-engine",
+        help="time batched inference (bucketing + memoization) vs. naive scoring",
+    )
+    engine.add_argument("--dataset", default="wdc_computers")
+    engine.add_argument("--size", default="small")
+    engine.add_argument("--model", default="emba_ft")
+    engine.add_argument("--batch-size", type=int, default=32)
+    engine.add_argument("--max-pairs", type=int, default=400)
+    engine.add_argument("--repeats", type=int, default=3)
+    engine.set_defaults(fn=_cmd_profile_engine)
 
     sub.add_parser("casestudy", help="print the Sec. 4.7 case-study pair"
                    ).set_defaults(fn=_cmd_casestudy)

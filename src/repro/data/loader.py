@@ -17,8 +17,8 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.data.schema import EMDataset, EntityPair
-from repro.data.serialize import serialize_pair_text
+from repro.data.schema import EMDataset, EntityPair, EntityRecord
+from repro.data.serialize import serialize_record
 from repro.text.special_tokens import CLS_TOKEN, SEP_TOKEN
 from repro.text.wordpiece import WordPieceTokenizer
 
@@ -88,11 +88,23 @@ class PairEncoder:
                 tokens2 = tokens2[:-1]
         return tokens1, tokens2
 
-    def encode(self, pair: EntityPair, dataset: EMDataset | None = None) -> EncodedPair:
-        text1, text2 = serialize_pair_text(pair, style=self.style)
-        tokens1 = self.tokenizer.tokenize(text1)
-        tokens2 = self.tokenizer.tokenize(text2)
-        tokens1, tokens2 = self._truncate(tokens1, tokens2)
+    def record_text(self, record: EntityRecord) -> str:
+        """The serialized text of one record under this encoder's style."""
+        return serialize_record(record, style=self.style)
+
+    def record_tokens(self, record: EntityRecord) -> list[str]:
+        """Untruncated wordpiece tokens of one record's serialized text."""
+        return self.tokenizer.tokenize(self.record_text(record))
+
+    def build(self, tokens1: Sequence[str], tokens2: Sequence[str],
+              label: int = 0, id1: int = 0, id2: int = 0) -> EncodedPair:
+        """Assemble an :class:`EncodedPair` from per-record token lists.
+
+        Applies the shared-budget truncation and packs the
+        ``[CLS] r1 [SEP] r2 [SEP]`` layout.  The inputs are not mutated,
+        so callers may pass cached token lists.
+        """
+        tokens1, tokens2 = self._truncate(list(tokens1), list(tokens2))
 
         tokens = [CLS_TOKEN] + tokens1 + [SEP_TOKEN] + tokens2 + [SEP_TOKEN]
         ids = np.array([self.tokenizer.vocab.token_to_id(t) for t in tokens], dtype=np.int64)
@@ -104,12 +116,17 @@ class PairEncoder:
         mask2 = np.zeros(len(tokens), dtype=bool)
         start2 = len(tokens1) + 2
         mask2[start2:start2 + len(tokens2)] = True
-
-        id1 = dataset.id_index(pair.record1.entity_id) if dataset else 0
-        id2 = dataset.id_index(pair.record2.entity_id) if dataset else 0
         return EncodedPair(
             input_ids=ids, segment_ids=segments, mask1=mask1, mask2=mask2,
-            tokens=tokens, label=pair.label, id1=id1, id2=id2,
+            tokens=tokens, label=label, id1=id1, id2=id2,
+        )
+
+    def encode(self, pair: EntityPair, dataset: EMDataset | None = None) -> EncodedPair:
+        id1 = dataset.id_index(pair.record1.entity_id) if dataset else 0
+        id2 = dataset.id_index(pair.record2.entity_id) if dataset else 0
+        return self.build(
+            self.record_tokens(pair.record1), self.record_tokens(pair.record2),
+            label=pair.label, id1=id1, id2=id2,
         )
 
     def encode_many(self, pairs: Sequence[EntityPair],
@@ -156,3 +173,58 @@ def iter_batches(encoded: Sequence[EncodedPair], batch_size: int,
     for start in range(0, len(encoded), batch_size):
         chunk = [encoded[i] for i in order[start:start + batch_size]]
         yield collate(chunk, pad_id=pad_id)
+
+
+def plan_buckets(lengths: Sequence[int], batch_size: int,
+                 max_pad_waste: float = 0.25) -> list[np.ndarray]:
+    """Length-bucketed batch plan over ``lengths``.
+
+    Items are sorted by length (stable, so equal lengths keep their input
+    order) and cut into buckets of at most ``batch_size`` items.  A bucket
+    is also cut early when admitting the next (longer) item would push the
+    bucket's padding waste — the fraction of padded cells in the resulting
+    ``(B, max_len)`` matrix — above ``max_pad_waste``.
+
+    Returns index arrays into the original sequence; their concatenation
+    is a permutation of ``range(len(lengths))``.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    if not 0.0 <= max_pad_waste < 1.0:
+        raise ValueError("max_pad_waste must be in [0, 1)")
+    lengths = np.asarray(lengths, dtype=np.int64)
+    order = np.argsort(lengths, kind="stable")
+    buckets: list[np.ndarray] = []
+    current: list[int] = []
+    tokens = 0
+    for idx in order:
+        n = int(lengths[idx])
+        if current:
+            # Ascending order: n is the running max, so the projected
+            # matrix is (len+1) x n cells holding tokens + n real tokens.
+            cells = n * (len(current) + 1)
+            waste = 1.0 - (tokens + n) / cells if cells else 0.0
+            if len(current) >= batch_size or waste > max_pad_waste:
+                buckets.append(np.array(current, dtype=np.int64))
+                current, tokens = [], 0
+        current.append(int(idx))
+        tokens += n
+    if current:
+        buckets.append(np.array(current, dtype=np.int64))
+    return buckets
+
+
+def iter_bucketed_batches(encoded: Sequence[EncodedPair], batch_size: int,
+                          max_pad_waste: float = 0.25, pad_id: int = 0
+                          ) -> Iterator[tuple[Batch, np.ndarray]]:
+    """Yield length-bucketed padded batches with their original indices.
+
+    Unlike :func:`iter_batches` this sorts by sequence length so each
+    batch pads to a near-uniform length, bounding padding waste.  Each
+    yielded pair is ``(batch, indices)`` where ``indices[i]`` is the
+    position of batch row ``i`` in ``encoded`` — callers scatter outputs
+    through it to restore the original order.
+    """
+    for bucket in plan_buckets([e.length for e in encoded], batch_size,
+                               max_pad_waste=max_pad_waste):
+        yield collate([encoded[i] for i in bucket], pad_id=pad_id), bucket

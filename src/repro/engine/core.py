@@ -1,0 +1,332 @@
+"""The batched inference engine behind every scoring path.
+
+:class:`InferenceEngine` owns the whole predict pipeline for a trained
+matcher: record-memoized encoding, a length-bucketed batch scheduler
+(sort by token length, cut buckets so padding waste stays bounded,
+scatter outputs back to the caller's order), guaranteed ``no_grad``
+execution, and an :class:`~repro.engine.stats.EngineStats` record for
+the efficiency experiments.
+
+Two memo levels exploit the redundancy of blocking-shaped workloads,
+where the same record appears in many candidate pairs:
+
+- serialized-record tokenizations are cached by content digest for any
+  model (wordpiece tokenization is the dominant encode cost);
+- for *decomposable* encoders — those marked ``position_independent``,
+  whose per-token outputs do not depend on surrounding tokens (e.g.
+  :class:`~repro.fasttext.model.FastTextEncoder`) — per-record encoder
+  activations are cached and stitched into full sequences, skipping the
+  encoder forward entirely on hits.
+
+The engine deliberately lives *above* the model layer: models never
+import it, so ``repro.models`` stays importable on its own.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.bert.model import BertOutput
+from repro.data.loader import (
+    Batch,
+    EncodedPair,
+    PairEncoder,
+    iter_bucketed_batches,
+)
+from repro.data.schema import EMDataset, EntityPair
+from repro.engine.memo import LRUCache, array_digest, text_digest
+from repro.engine.stats import EngineStats
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, no_grad
+
+if TYPE_CHECKING:  # models import nothing from the engine; keep it that way
+    from repro.models.base import EMModel
+
+
+@dataclass
+class EngineConfig:
+    """Tuning knobs of an :class:`InferenceEngine`."""
+
+    batch_size: int = 32
+    max_pad_waste: float = 0.25       # bucket cut threshold (fraction padded)
+    threshold: float = 0.5            # match decision boundary for em_pred
+    encode_cache_size: int = 8192     # record-token LRU entries
+    encoder_cache_size: int = 2048    # record encoder-output LRU entries
+    memoize_encoder: bool = True      # use the encoder memo when decomposable
+
+
+class _PrecomputedEncoder(Module):
+    """Stand-in encoder returning one prepared output (memo-hit path)."""
+
+    def __init__(self, output: BertOutput):
+        super().__init__()
+        self._output = output
+
+    def forward(self, *args, **kwargs) -> BertOutput:
+        return self._output
+
+
+class InferenceEngine:
+    """Batched, memoized, ``no_grad`` scoring for one trained model.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.models.base.EMModel`.
+    encoder:
+        The :class:`~repro.data.loader.PairEncoder` used to encode raw
+        :class:`~repro.data.schema.EntityPair` inputs.  Optional when the
+        caller only scores pre-encoded pairs.
+    config:
+        Scheduler/cache sizing; defaults are serving-friendly.
+    """
+
+    def __init__(self, model: "EMModel", encoder: PairEncoder | None = None,
+                 config: EngineConfig | None = None):
+        self.model = model
+        self.encoder = encoder
+        self.config = config or EngineConfig()
+        self._token_cache = LRUCache(self.config.encode_cache_size)
+        self._output_cache = LRUCache(self.config.encoder_cache_size)
+        self._pairs_scored = 0
+        self._batches = 0
+        self._token_cells = 0
+        self._real_tokens = 0
+        self._wall_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> EngineStats:
+        """A snapshot of everything this engine has done since reset."""
+        return EngineStats(
+            pairs_scored=self._pairs_scored,
+            batches=self._batches,
+            token_cells=self._token_cells,
+            real_tokens=self._real_tokens,
+            encode_hits=self._token_cache.hits,
+            encode_misses=self._token_cache.misses,
+            encoder_hits=self._output_cache.hits,
+            encoder_misses=self._output_cache.misses,
+            wall_seconds=self._wall_seconds,
+        )
+
+    def reset_stats(self) -> None:
+        """Zero the counters (cache *contents* are kept)."""
+        self._pairs_scored = 0
+        self._batches = 0
+        self._token_cells = 0
+        self._real_tokens = 0
+        self._wall_seconds = 0.0
+        self._token_cache.hits = self._token_cache.misses = 0
+        self._output_cache.hits = self._output_cache.misses = 0
+
+    # ------------------------------------------------------------------
+    # Encoding (record-token memo)
+    # ------------------------------------------------------------------
+    def _cached_record_tokens(self, record) -> tuple[str, ...]:
+        text = self.encoder.record_text(record)
+        key = text_digest(text)
+        cached = self._token_cache.get(key)
+        if cached is None:
+            cached = tuple(self.encoder.tokenizer.tokenize(text))
+            self._token_cache.put(key, cached)
+        return cached
+
+    def encode_pair(self, pair: EntityPair,
+                    dataset: EMDataset | None = None) -> EncodedPair:
+        """Encode one pair, reusing cached per-record tokenizations."""
+        if self.encoder is None:
+            raise ValueError("engine was built without a PairEncoder")
+        id1 = dataset.id_index(pair.record1.entity_id) if dataset else 0
+        id2 = dataset.id_index(pair.record2.entity_id) if dataset else 0
+        return self.encoder.build(
+            self._cached_record_tokens(pair.record1),
+            self._cached_record_tokens(pair.record2),
+            label=pair.label, id1=id1, id2=id2,
+        )
+
+    def encode_pairs(self, pairs: Sequence[EntityPair],
+                     dataset: EMDataset | None = None) -> list[EncodedPair]:
+        return [self.encode_pair(p, dataset) for p in pairs]
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score_encoded(self, encoded: Sequence[EncodedPair]) -> dict[str, np.ndarray]:
+        """Score pre-encoded pairs in original order.
+
+        Returns the same keys as the old per-consumer loops produced:
+        ``em_prob``, ``em_pred``, optional ``id1_pred``/``id2_pred`` for
+        multi-task models, plus the batch-side ``labels``/``id1``/``id2``
+        arrays (in input order).
+        """
+        n = len(encoded)
+        if n == 0:
+            return {
+                "em_prob": np.zeros(0, dtype=np.float32),
+                "em_pred": np.zeros(0, dtype=np.int64),
+                "labels": np.zeros(0, dtype=np.float32),
+                "id1": np.zeros(0, dtype=np.int64),
+                "id2": np.zeros(0, dtype=np.int64),
+            }
+        start = time.perf_counter()
+        cfg = self.config
+        outputs: dict[str, np.ndarray] = {}
+
+        def scatter(key: str, index: np.ndarray, values: np.ndarray) -> None:
+            if key not in outputs:
+                outputs[key] = np.zeros((n,) + values.shape[1:], dtype=values.dtype)
+            outputs[key][index] = values
+
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad():
+                for batch, index in iter_bucketed_batches(
+                        encoded, cfg.batch_size, max_pad_waste=cfg.max_pad_waste):
+                    output = self._forward(batch, [encoded[i] for i in index])
+                    logits = output.em_logits.data
+                    probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+                    scatter("em_prob", index, probs)
+                    if output.id1_logits is not None:
+                        scatter("id1_pred", index,
+                                output.id1_logits.data.argmax(axis=-1))
+                    if output.id2_logits is not None:
+                        scatter("id2_pred", index,
+                                output.id2_logits.data.argmax(axis=-1))
+                    scatter("labels", index, batch.labels)
+                    scatter("id1", index, batch.id1)
+                    scatter("id2", index, batch.id2)
+                    self._batches += 1
+                    self._token_cells += int(batch.input_ids.size)
+                    self._real_tokens += int(batch.attention_mask.sum())
+        finally:
+            if was_training:
+                self.model.train()
+        outputs["em_pred"] = (outputs["em_prob"] >= cfg.threshold).astype(np.int64)
+        self._pairs_scored += n
+        self._wall_seconds += time.perf_counter() - start
+        return outputs
+
+    def score_pairs(self, pairs: Sequence[EntityPair],
+                    dataset: EMDataset | None = None) -> dict[str, np.ndarray]:
+        """Encode (memoized) then score raw entity pairs."""
+        return self.score_encoded(self.encode_pairs(pairs, dataset))
+
+    def predict_proba(self, pairs: Sequence[EntityPair],
+                      dataset: EMDataset | None = None) -> np.ndarray:
+        """Just the match probabilities, in input order."""
+        return self.score_pairs(pairs, dataset)["em_prob"]
+
+    # ------------------------------------------------------------------
+    # Forward (record encoder-output memo for decomposable encoders)
+    # ------------------------------------------------------------------
+    def _memoizable_encoder(self) -> Module | None:
+        encoder = getattr(self.model, "encoder", None)
+        if (self.config.memoize_encoder and encoder is not None
+                and getattr(encoder, "position_independent", False)
+                and callable(getattr(encoder, "pool", None))):
+            return encoder
+        return None
+
+    def _forward(self, batch: Batch, chunk: Sequence[EncodedPair]):
+        encoder = self._memoizable_encoder()
+        if encoder is None:
+            return self.model(batch)
+        bert_out = self._assemble_encoder_output(encoder, batch, chunk)
+        real = self.model.encoder
+        self.model.encoder = _PrecomputedEncoder(bert_out)
+        try:
+            return self.model(batch)
+        finally:
+            self.model.encoder = real
+
+    def _span_output(self, ids: np.ndarray, counted: bool,
+                     pending: dict[str, np.ndarray],
+                     resolved: dict[str, np.ndarray]) -> str:
+        """Resolve or queue one span; return its cache key.
+
+        ``counted`` spans (the two record bodies) feed the hit/miss
+        stats; special-token and padding spans are cached silently.
+        ``resolved`` pins every span needed by the current batch so LRU
+        eviction mid-batch cannot drop it.
+        """
+        key = array_digest(ids)
+        if key in resolved or key in pending:
+            if counted:
+                # Shared within this batch: the encoder work is reused
+                # even if the entry was only just queued.
+                self._output_cache.hits += 1
+            return key
+        value = (self._output_cache.get(key) if counted
+                 else self._output_cache.peek(key))
+        if value is not None:
+            resolved[key] = value
+        else:
+            pending[key] = ids
+        return key
+
+    def _assemble_encoder_output(self, encoder: Module, batch: Batch,
+                                 chunk: Sequence[EncodedPair]) -> BertOutput:
+        """Stitch per-record cached activations into a full batch output.
+
+        Valid because a ``position_independent`` encoder's output at each
+        position depends only on that position's token id, so a record's
+        span activations are identical whether the record is encoded
+        alone or packed into a pair.
+        """
+        pending: dict[str, np.ndarray] = {}
+        resolved: dict[str, np.ndarray] = {}
+        row_keys: list[list[tuple[str, int]]] = []
+        for e in chunk:
+            n1 = int(e.mask1.sum())
+            n2 = int(e.mask2.sum())
+            ids = e.input_ids
+            bounds = [(0, 1, False), (1, 1 + n1, True),
+                      (1 + n1, 2 + n1, False), (2 + n1, 2 + n1 + n2, True),
+                      (2 + n1 + n2, 3 + n1 + n2, False)]
+            keys = []
+            for lo, hi, counted in bounds:
+                if hi > lo:
+                    keys.append((self._span_output(ids[lo:hi], counted,
+                                                   pending, resolved), hi - lo))
+            row_keys.append(keys)
+
+        pad_key = self._span_output(np.zeros(1, dtype=np.int64), False,
+                                    pending, resolved)
+
+        if pending:
+            miss_keys = list(pending)
+            spans = [pending[k] for k in miss_keys]
+            max_len = max(len(s) for s in spans)
+            ids = np.zeros((len(spans), max_len), dtype=np.int64)
+            mask = np.zeros((len(spans), max_len), dtype=np.float32)
+            for i, span in enumerate(spans):
+                ids[i, :len(span)] = span
+                mask[i, :len(span)] = 1.0
+            out = encoder(ids, mask, np.zeros_like(ids))
+            seq = out.sequence.data
+            for i, key in enumerate(miss_keys):
+                value = seq[i, :len(spans[i])].copy()
+                resolved[key] = value
+                self._output_cache.put(key, value)
+
+        batch_size, max_len = batch.input_ids.shape
+        pad_vec = resolved[pad_key]
+        hidden = pad_vec.shape[-1]
+        sequence = np.empty((batch_size, max_len, hidden), dtype=pad_vec.dtype)
+        sequence[:] = pad_vec[0]
+        for row, keys in enumerate(row_keys):
+            cursor = 0
+            for key, length in keys:
+                sequence[row, cursor:cursor + length] = resolved[key]
+                cursor += length
+        seq_tensor = Tensor(sequence)
+        pooled = encoder.pool(seq_tensor, batch.attention_mask)
+        return BertOutput(sequence=seq_tensor, pooled=pooled, attentions=[])

@@ -46,14 +46,11 @@ def best_f1_threshold(labels: np.ndarray, probabilities: np.ndarray
 
 def calibrate_model(model, encoded_valid, batch_size: int = 32) -> float:
     """Pick the validation-F1-optimal threshold for a trained EMModel."""
-    from repro.data.loader import iter_batches
+    from repro.engine import EngineConfig, InferenceEngine
 
-    labels, probs = [], []
-    for batch in iter_batches(encoded_valid, batch_size):
-        out = model.predict(batch)
-        probs.append(out["em_prob"])
-        labels.append(batch.labels)
-    if not labels:
+    if not encoded_valid:
         return 0.5
-    threshold, _ = best_f1_threshold(np.concatenate(labels), np.concatenate(probs))
+    engine = InferenceEngine(model, config=EngineConfig(batch_size=batch_size))
+    out = engine.score_encoded(encoded_valid)
+    threshold, _ = best_f1_threshold(out["labels"], out["em_prob"])
     return threshold

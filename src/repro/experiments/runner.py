@@ -24,6 +24,7 @@ from repro.data.imbalance import subsample_positives
 from repro.data.loader import PairEncoder
 from repro.data.registry import load_dataset
 from repro.data.schema import EMDataset
+from repro.engine import EngineConfig, InferenceEngine
 from repro.eval.metrics import accuracy, micro_f1, precision_recall_f1
 from repro.experiments.config import MODEL_SPECS, RunSpec
 from repro.fasttext import FastTextEncoder, train_fasttext
@@ -182,7 +183,9 @@ def run_experiment(spec: RunSpec, use_cache: bool = True) -> dict:
     fit = trainer.fit(model, train, valid)
     train_seconds = time.perf_counter() - start
 
-    preds = trainer.predict_all(model, test)
+    engine = InferenceEngine(model, config=EngineConfig(batch_size=spec.batch_size))
+    preds = engine.score_encoded(test)
+    engine_stats = engine.stats
     precision, recall, f1 = precision_recall_f1(preds["labels"], preds["em_pred"])
     metrics = {
         "em_f1": f1,
@@ -191,6 +194,9 @@ def run_experiment(spec: RunSpec, use_cache: bool = True) -> dict:
         "epochs_run": fit.epochs_run,
         "best_valid_f1": fit.best_valid_f1,
         "train_seconds": train_seconds,
+        "infer_seconds": engine_stats.wall_seconds,
+        "infer_pairs_per_s": engine_stats.pairs_per_second,
+        "infer_pad_waste": engine_stats.pad_waste_ratio,
         "num_id_classes": dataset.num_id_classes,
         **{f"spec_{k}": v for k, v in spec.__dict__.items()},
     }

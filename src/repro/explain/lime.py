@@ -13,8 +13,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.data.loader import PairEncoder, collate
+from repro.data.loader import PairEncoder
 from repro.data.schema import EntityPair, EntityRecord
+from repro.engine import EngineConfig, InferenceEngine
 from repro.models.base import EMModel
 from repro.text.normalize import basic_tokenize
 
@@ -47,6 +48,11 @@ class LimeExplainer:
         self.ridge = ridge
         self.batch_size = batch_size
         self.seed = seed
+        # All perturbed-sample scoring goes through the shared engine:
+        # bucketed batches (perturbations vary wildly in length) and
+        # guaranteed no_grad execution.
+        self.engine = InferenceEngine(model, encoder,
+                                      EngineConfig(batch_size=batch_size))
 
     # ------------------------------------------------------------------
     def _rebuild(self, words1: list[str], words2: list[str],
@@ -61,12 +67,7 @@ class LimeExplainer:
         )
 
     def _probabilities(self, pairs: list[EntityPair]) -> np.ndarray:
-        probs = []
-        for start in range(0, len(pairs), self.batch_size):
-            chunk = pairs[start:start + self.batch_size]
-            batch = collate([self.encoder.encode(p) for p in chunk])
-            probs.append(self.model.predict(batch)["em_prob"])
-        return np.concatenate(probs)
+        return self.engine.predict_proba(pairs)
 
     def explain(self, pair: EntityPair) -> list[WordImportance]:
         """Word importances for ``pair``, sorted by |weight| descending."""

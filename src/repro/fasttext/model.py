@@ -82,7 +82,15 @@ class FastTextEncoder(Module):
     vector is the masked mean of the sequence (there is no [CLS]
     semantics in fastText, so the mean stands in for it, as in fastText
     classification).
+
+    Because each position's output depends only on that position's token
+    id (no positions, no cross-token mixing), the encoder is
+    *decomposable*: ``position_independent`` lets the inference engine
+    memoize per-record span activations and stitch them into pair
+    sequences without re-running the forward.
     """
+
+    position_independent = True
 
     def __init__(self, vocab: Vocabulary, hasher: SubwordHasher, dim: int,
                  rng: np.random.Generator,
@@ -94,8 +102,12 @@ class FastTextEncoder(Module):
         self.norm = LayerNorm(dim)
         self.hidden_size = dim
 
+    def pool(self, sequence: Tensor, attention_mask: np.ndarray) -> Tensor:
+        """Pooled vector from an (already computed) sequence output."""
+        return F.tanh(F.mean_pool(sequence, attention_mask))
+
     def forward(self, input_ids: np.ndarray, attention_mask: np.ndarray,
                 segment_ids: np.ndarray | None = None) -> BertOutput:
         sequence = self.norm(self.project(self.embeddings(input_ids)))
-        pooled = F.tanh(F.mean_pool(sequence, attention_mask))
+        pooled = self.pool(sequence, attention_mask)
         return BertOutput(sequence=sequence, pooled=pooled, attentions=[])

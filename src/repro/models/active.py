@@ -14,7 +14,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.data.loader import EncodedPair, collate
+from repro.data.loader import EncodedPair
 from repro.models.base import EMModel
 from repro.models.trainer import TrainConfig, Trainer
 
@@ -65,11 +65,8 @@ def active_learn(model_factory: Callable[[], EMModel],
     for _ in range(1, rounds):
         if not remaining:
             break
-        probs = []
-        for start in range(0, len(remaining), batch_size):
-            chunk = remaining[start:start + batch_size]
-            probs.append(model.predict(collate(chunk))["em_prob"])
-        scores = uncertainty(np.concatenate(probs))
+        probs = model.predict_proba(remaining, batch_size=batch_size)
+        scores = uncertainty(probs)
         order = np.argsort(scores)  # most uncertain first
         picked = set(order[:budget_per_round].tolist())
         pool.extend(remaining[i] for i in picked)

@@ -77,3 +77,15 @@ class EMModel(Module):
         if output.id2_logits is not None:
             result["id2_pred"] = output.id2_logits.data.argmax(axis=-1)
         return result
+
+    def predict_proba(self, encoded: list, batch_size: int = 32) -> np.ndarray:
+        """Match probabilities over encoded pairs, in input order.
+
+        Routes through the shared :class:`~repro.engine.core.InferenceEngine`
+        (length-bucketed batches, guaranteed ``no_grad``).
+        """
+        # Imported here: the engine sits above the model layer.
+        from repro.engine import EngineConfig, InferenceEngine
+
+        engine = InferenceEngine(self, config=EngineConfig(batch_size=batch_size))
+        return engine.score_encoded(encoded)["em_prob"]

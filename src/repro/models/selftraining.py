@@ -18,7 +18,7 @@ import copy
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.data.loader import EncodedPair, collate
+from repro.data.loader import EncodedPair
 from repro.models.base import EMModel
 from repro.models.trainer import TrainConfig, Trainer
 
@@ -37,14 +37,12 @@ def _pseudo_label(model: EMModel, unlabeled: list[EncodedPair],
                   confidence: float, batch_size: int) -> list[EncodedPair]:
     """Confidently-predicted copies of unlabeled pairs (EM label only)."""
     confident: list[EncodedPair] = []
-    for start in range(0, len(unlabeled), batch_size):
-        chunk = unlabeled[start:start + batch_size]
-        probs = model.predict(collate(chunk))["em_prob"]
-        for pair, prob in zip(chunk, probs):
-            if prob >= confidence or prob <= 1.0 - confidence:
-                labeled = copy.copy(pair)
-                labeled.label = int(prob >= 0.5)
-                confident.append(labeled)
+    probs = model.predict_proba(unlabeled, batch_size=batch_size)
+    for pair, prob in zip(unlabeled, probs):
+        if prob >= confidence or prob <= 1.0 - confidence:
+            labeled = copy.copy(pair)
+            labeled.label = int(prob >= 0.5)
+            confident.append(labeled)
     return confident
 
 

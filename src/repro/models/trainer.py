@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.loader import EncodedPair, iter_batches
+from repro.engine import EngineConfig, InferenceEngine
 from repro.eval.metrics import binary_f1
 from repro.models.base import EMModel
 from repro.nn.optim import Adam, clip_grad_norm_
@@ -74,18 +75,19 @@ class Trainer:
     def __init__(self, config: TrainConfig | None = None):
         self.config = config or TrainConfig()
 
+    def _engine(self, model: EMModel, batch_size: int | None = None
+                ) -> InferenceEngine:
+        """The shared inference path (length-bucketed, ``no_grad``)."""
+        return InferenceEngine(model, config=EngineConfig(
+            batch_size=batch_size or self.config.batch_size))
+
     def evaluate_f1(self, model: EMModel, encoded: list[EncodedPair],
                     batch_size: int | None = None) -> float:
         """EM F1 over an encoded split."""
         if not encoded:
             return 0.0
-        batch_size = batch_size or self.config.batch_size
-        truths, preds = [], []
-        for batch in iter_batches(encoded, batch_size):
-            out = model.predict(batch)
-            preds.append(out["em_pred"])
-            truths.append(batch.labels)
-        return binary_f1(np.concatenate(truths), np.concatenate(preds))
+        out = self._engine(model, batch_size).score_encoded(encoded)
+        return binary_f1(out["labels"], out["em_pred"])
 
     def fit(self, model: EMModel, train: list[EncodedPair],
             valid: list[EncodedPair]) -> TrainResult:
@@ -141,18 +143,5 @@ class Trainer:
 
     def predict_all(self, model: EMModel, encoded: list[EncodedPair]
                     ) -> dict[str, np.ndarray]:
-        """Concatenated predictions over a split (em + id heads)."""
-        collected: dict[str, list[np.ndarray]] = {}
-        labels, id1, id2 = [], [], []
-        for batch in iter_batches(encoded, self.config.batch_size):
-            out = model.predict(batch)
-            for key, value in out.items():
-                collected.setdefault(key, []).append(value)
-            labels.append(batch.labels)
-            id1.append(batch.id1)
-            id2.append(batch.id2)
-        result = {k: np.concatenate(v) for k, v in collected.items()}
-        result["labels"] = np.concatenate(labels)
-        result["id1"] = np.concatenate(id1)
-        result["id2"] = np.concatenate(id2)
-        return result
+        """Predictions over a split, in input order (em + id heads)."""
+        return self._engine(model).score_encoded(encoded)

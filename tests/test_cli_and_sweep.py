@@ -25,6 +25,14 @@ class TestCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table", "9"])
 
+    def test_profile_engine_parser(self):
+        args = build_parser().parse_args(
+            ["profile-engine", "--max-pairs", "50", "--batch-size", "16"])
+        assert args.max_pairs == 50
+        assert args.batch_size == 16
+        assert args.model == "emba_ft"
+        assert args.fn is not None
+
     def test_casestudy_command(self, capsys):
         assert main(["casestudy"]) == 0
         out = capsys.readouterr().out
