@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Repo check: tier-1 tests plus the inference-engine benchmark smoke.
+# Repo check: tier-1 tests, the numerical verify stage (slow-marked
+# sweeps + `repro selfcheck`), and the inference-engine benchmark smoke.
 #
 #   bash scripts/check.sh
 #
@@ -13,6 +14,12 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 tests =="
 python -m pytest -x -q
+
+echo "== verify: slow-marked sweeps =="
+python -m pytest -q -m slow
+
+echo "== verify: selfcheck (gradcheck + invariants + golden + parity) =="
+python -m repro.cli selfcheck
 
 echo "== engine benchmark smoke =="
 python -m pytest -q benchmarks/bench_engine.py

@@ -14,8 +14,20 @@ Subpackages
 - :mod:`repro.eval` — metrics, significance tests, throughput
 - :mod:`repro.explain` — LIME and attention visualization
 - :mod:`repro.experiments` — tables 1-7 and figures 5-6 harness
+- :mod:`repro.verify` — gradcheck, runtime invariants, golden digests
+
+Setting ``REPRO_VERIFY=1`` in the environment installs the runtime
+invariant guards (see :mod:`repro.verify.invariants`) for every
+subsequent forward/backward pass in the process.
 """
+
+import os as _os
 
 __version__ = "1.0.0"
 
 __all__ = ["__version__"]
+
+if _os.environ.get("REPRO_VERIFY", "").strip() not in ("", "0"):
+    from repro.verify.invariants import install as _install_invariants
+
+    _install_invariants()

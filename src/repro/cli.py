@@ -9,6 +9,8 @@ Commands
 - ``casestudy``                print the Section 4.7 case-study pair
 - ``profile-engine``           time the batched inference engine vs. the
                                naive scoring loop on a blocking workload
+- ``selfcheck``                numerical certification: gradcheck sweep,
+                               runtime invariants, golden digests, parity
 """
 
 from __future__ import annotations
@@ -101,6 +103,12 @@ def _cmd_profile_engine(args) -> int:
     return 0
 
 
+def _cmd_selfcheck(args) -> int:
+    from repro.verify.selfcheck import run_selfcheck
+
+    return run_selfcheck(quick=args.quick, seed=args.seed)
+
+
 def _cmd_casestudy(args) -> int:
     from repro.experiments.casestudy import case_study_pair
 
@@ -159,6 +167,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("casestudy", help="print the Sec. 4.7 case-study pair"
                    ).set_defaults(fn=_cmd_casestudy)
+
+    selfcheck = sub.add_parser(
+        "selfcheck",
+        help="numerical certification: gradcheck sweep + runtime invariants "
+             "+ golden digests + engine parity (non-zero exit on violation)",
+    )
+    selfcheck.add_argument("--quick", action="store_true",
+                           help="skip the heavy full-model gradcheck cases")
+    selfcheck.add_argument("--seed", type=int, default=0)
+    selfcheck.set_defaults(fn=_cmd_selfcheck)
     return parser
 
 

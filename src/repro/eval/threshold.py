@@ -20,6 +20,12 @@ def best_f1_threshold(labels: np.ndarray, probabilities: np.ndarray
     Scans the midpoints between consecutive distinct probabilities (plus
     the 0.5 default), so the search is exact for the given sample.
     Returns ``(threshold, f1_at_threshold)``.
+
+    Degenerate inputs never crash and fall back to the paper's default
+    threshold of **0.5**: an empty validation set returns ``(0.5, 0.0)``,
+    and when no threshold achieves positive F1 (e.g. an all-negative
+    label set) the default 0.5 is kept.  All-identical scores are
+    handled by probing just above and below the single distinct value.
     """
     labels = np.asarray(labels).astype(int)
     probabilities = np.asarray(probabilities, dtype=np.float64)

@@ -47,16 +47,26 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def gelu(x: Tensor) -> Tensor:
     """Gaussian error linear unit (tanh approximation, as in BERT)."""
-    x3 = x.data ** 3
-    inner = _SQRT_2_OVER_PI * (x.data + 0.044715 * x3)
+    # x**3 may overflow to inf at extreme |x|; tanh saturates it to +/-1
+    # and the output correctly degenerates to x (or 0), so only silence
+    # the spurious warning rather than clamp.
+    with np.errstate(over="ignore"):
+        x3 = x.data ** 3
+        inner = _SQRT_2_OVER_PI * (x.data + 0.044715 * x3)
     tanh_inner = np.tanh(inner)
     out = 0.5 * x.data * (1.0 + tanh_inner)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
             sech2 = 1.0 - tanh_inner * tanh_inner
-            d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x.data * x.data)
-            x._accumulate(grad * (0.5 * (1.0 + tanh_inner) + 0.5 * x.data * sech2 * d_inner))
+            # At large |x|, d_inner overflows to inf while sech2 saturates
+            # to exactly 0 (tanh saturates long before x*x overflows), and
+            # 0 * inf would poison the gradient with NaN.  The true limit
+            # of sech2 * d_inner is 0: sech^2 decays double-exponentially.
+            with np.errstate(over="ignore", invalid="ignore"):
+                d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x.data * x.data)
+                tail = np.where(sech2 == 0.0, 0.0, sech2 * d_inner)
+            x._accumulate(grad * (0.5 * (1.0 + tanh_inner) + 0.5 * x.data * tail))
 
     return x._make_child(out.astype(x.dtype), (x,), backward)
 

@@ -1,0 +1,253 @@
+"""Runtime invariant guards over the numerical stack.
+
+When installed (:func:`install`), key call sites are wrapped so that
+every execution checks the mathematical invariants the stack relies on:
+
+- ``softmax`` rows sum to 1 and ``log_softmax`` rows exp-sum to 1;
+- ``layer_norm`` output matches an independent float64 recomputation and
+  is standardized (unit std) wherever the input row has real variance;
+- multi-head attention never places probability mass on padded key
+  positions;
+- AoA ``gamma`` is a valid distribution over the RECORD1 tokens
+  (non-negative, sums to 1 over the span, no off-span leakage) whenever
+  the module runs masked;
+- no NaN/Inf ever enters the tape, forward (``Tensor._make_child``) or
+  backward (``Tensor._accumulate``).
+
+Violations raise :class:`InvariantViolation` at the offending call site.
+
+The guards are installed by monkeypatching module/class attributes and
+removed by restoring the originals, so the cost when *not* installed is
+exactly zero — no flags are consulted on the hot path.  Installation is
+triggered by ``REPRO_VERIFY=1`` in the environment (see
+``repro/__init__.py``), by ``repro selfcheck``, or manually via
+:func:`guarded` / :func:`install`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import Counter
+from typing import Iterator
+
+import numpy as np
+
+
+class InvariantViolation(AssertionError):
+    """A numerical invariant was violated at runtime."""
+
+
+_COUNTS: Counter[str] = Counter()
+_ORIGINALS: list[tuple[object, str, object]] = []   # (owner, attr, original)
+
+
+def installed() -> bool:
+    """Whether the guards are currently active."""
+    return bool(_ORIGINALS)
+
+
+def guard_report() -> dict[str, int]:
+    """How many times each guard fired since the last install."""
+    return dict(_COUNTS)
+
+
+def _tol(dtype, f32: float, f64: float) -> float:
+    return f64 if np.dtype(dtype) == np.float64 else f32
+
+
+def _fail(check: str, detail: str) -> None:
+    raise InvariantViolation(f"invariant {check!r} violated: {detail}")
+
+
+# ----------------------------------------------------------------------
+# Individual guards (pure check functions, unit-testable in isolation)
+# ----------------------------------------------------------------------
+
+def check_softmax_rows(out: np.ndarray, axis: int) -> None:
+    sums = out.sum(axis=axis)
+    tol = _tol(out.dtype, 1e-4, 1e-9)
+    worst = float(np.abs(sums - 1.0).max()) if sums.size else 0.0
+    if worst > tol:
+        _fail("softmax.rows_sum_to_one",
+              f"row sums deviate from 1 by {worst:.3e} (tol {tol:.1e}, "
+              f"shape {out.shape}, axis {axis})")
+    _COUNTS["softmax.rows_sum_to_one"] += 1
+
+
+def check_log_softmax_rows(out: np.ndarray, axis: int) -> None:
+    sums = np.exp(out).sum(axis=axis)
+    tol = _tol(out.dtype, 1e-4, 1e-9)
+    worst = float(np.abs(sums - 1.0).max()) if sums.size else 0.0
+    if worst > tol:
+        _fail("log_softmax.rows_exp_sum_to_one",
+              f"exp-row sums deviate from 1 by {worst:.3e} (tol {tol:.1e}, "
+              f"shape {out.shape}, axis {axis})")
+    _COUNTS["log_softmax.rows_exp_sum_to_one"] += 1
+
+
+def check_layer_norm(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
+                     eps: float, out: np.ndarray) -> None:
+    data = x.astype(np.float64)
+    mean = data.mean(axis=-1, keepdims=True)
+    var = ((data - mean) ** 2).mean(axis=-1, keepdims=True)
+    normalized = (data - mean) / np.sqrt(var + eps)
+    expected = normalized * weight.astype(np.float64) + bias.astype(np.float64)
+    tol = _tol(out.dtype, 1e-3, 1e-9)
+    worst = float(np.abs(out.astype(np.float64) - expected).max()) if out.size else 0.0
+    if worst > tol:
+        _fail("layer_norm.matches_recomputation",
+              f"output deviates from float64 recomputation by {worst:.3e} "
+              f"(tol {tol:.1e}, shape {out.shape})")
+    # Standardization: rows with genuine variance must come out unit-std.
+    # (Constant rows normalize to ~0 — eps dominates — and are skipped.)
+    real = var[..., 0] > 1e-3
+    if np.any(real):
+        stds = normalized[real].std(axis=-1)
+        drift = float(np.abs(stds - 1.0).max())
+        if drift > 1e-2:
+            _fail("layer_norm.standardized",
+                  f"normalized row std deviates from 1 by {drift:.3e} "
+                  f"(shape {out.shape})")
+    _COUNTS["layer_norm.standardized"] += 1
+
+
+def check_attention_no_leak(probs: np.ndarray, attention_mask: np.ndarray) -> None:
+    mask = np.asarray(attention_mask)
+    live = mask.sum(axis=-1) > 0               # fully-padded rows are skipped
+    if np.any(live):
+        padded = (mask == 0).astype(probs.dtype)    # (B, S) over key positions
+        leak = probs[live] * padded[live][:, None, None, :]
+        worst = float(leak.max()) if leak.size else 0.0
+        if worst > 1e-6:
+            _fail("attention.no_padded_leak",
+                  f"attention places {worst:.3e} probability on padded keys "
+                  f"(shape {probs.shape})")
+    _COUNTS["attention.no_padded_leak"] += 1
+
+
+def check_aoa_gamma(gamma: np.ndarray, mask1: np.ndarray,
+                    mask2: np.ndarray) -> None:
+    m1 = np.asarray(mask1, dtype=np.float64)
+    m2 = np.asarray(mask2, dtype=np.float64)
+    tol = _tol(gamma.dtype, 1e-4, 1e-9)
+    low = float(gamma.min()) if gamma.size else 0.0
+    if low < -tol:
+        _fail("aoa.gamma_nonnegative", f"gamma has negative mass {low:.3e}")
+    valid = (m1.sum(axis=1) > 0) & (m2.sum(axis=1) > 0)
+    if np.any(valid):
+        g = gamma.astype(np.float64)[valid]
+        span_sum = (g * m1[valid]).sum(axis=1)
+        worst = float(np.abs(span_sum - 1.0).max())
+        if worst > tol:
+            _fail("aoa.gamma_sums_to_one",
+                  f"gamma mass over RECORD1 deviates from 1 by {worst:.3e} "
+                  f"(tol {tol:.1e})")
+        off_span = float((g * (1.0 - m1[valid])).sum(axis=1).max())
+        if off_span > 1e-6:
+            _fail("aoa.gamma_on_record1_only",
+                  f"gamma leaks {off_span:.3e} mass outside RECORD1")
+    _COUNTS["aoa.gamma_distribution"] += 1
+
+
+def check_finite(kind: str, array: np.ndarray) -> None:
+    if not np.all(np.isfinite(array)):
+        bad = int(np.size(array) - np.count_nonzero(np.isfinite(array)))
+        _fail(f"tensor.finite_{kind}",
+              f"{bad} non-finite element(s) in {kind} array of shape "
+              f"{np.shape(array)}")
+    _COUNTS[f"tensor.finite_{kind}"] += 1
+
+
+# ----------------------------------------------------------------------
+# Install / uninstall
+# ----------------------------------------------------------------------
+
+def _patch(owner: object, attr: str, replacement: object) -> None:
+    _ORIGINALS.append((owner, attr, getattr(owner, attr)))
+    setattr(owner, attr, replacement)
+
+
+def install() -> None:
+    """Activate all guards by wrapping the relevant call sites.
+
+    Idempotent: a second call while installed is a no-op.  All imports
+    happen here (not at module load) so that merely importing
+    :mod:`repro.verify` never drags in the model stack.
+    """
+    if installed():
+        return
+    _COUNTS.clear()
+
+    from repro.bert.attention import MultiHeadSelfAttention
+    from repro.models.aoa import AttentionOverAttention
+    from repro.nn import functional as F
+    from repro.nn.tensor import Tensor
+
+    orig_softmax = F.softmax
+    orig_log_softmax = F.log_softmax
+    orig_layer_norm = F.layer_norm
+    orig_attn_forward = MultiHeadSelfAttention.forward
+    orig_aoa_forward = AttentionOverAttention.forward
+    orig_make_child = Tensor._make_child
+    orig_accumulate = Tensor._accumulate
+
+    def softmax_guard(x, axis=-1):
+        out = orig_softmax(x, axis=axis)
+        check_softmax_rows(out.data, axis)
+        return out
+
+    def log_softmax_guard(x, axis=-1):
+        out = orig_log_softmax(x, axis=axis)
+        check_log_softmax_rows(out.data, axis)
+        return out
+
+    def layer_norm_guard(x, weight, bias, eps=1e-5):
+        out = orig_layer_norm(x, weight, bias, eps)
+        check_layer_norm(x.data, weight.data, bias.data, eps, out.data)
+        return out
+
+    def attn_forward_guard(self, hidden, attention_mask):
+        output, probs = orig_attn_forward(self, hidden, attention_mask)
+        check_attention_no_leak(probs, attention_mask)
+        return output, probs
+
+    def aoa_forward_guard(self, sequence, mask1, mask2):
+        x, gamma = orig_aoa_forward(self, sequence, mask1, mask2)
+        if self.masked:
+            check_aoa_gamma(gamma, mask1, mask2)
+        return x, gamma
+
+    def make_child_guard(self, data, parents, backward):
+        check_finite("forward", data)
+        return orig_make_child(self, data, parents, backward)
+
+    def accumulate_guard(self, grad):
+        check_finite("backward", grad)
+        orig_accumulate(self, grad)
+
+    _patch(F, "softmax", softmax_guard)
+    _patch(F, "log_softmax", log_softmax_guard)
+    _patch(F, "layer_norm", layer_norm_guard)
+    _patch(MultiHeadSelfAttention, "forward", attn_forward_guard)
+    _patch(AttentionOverAttention, "forward", aoa_forward_guard)
+    _patch(Tensor, "_make_child", make_child_guard)
+    _patch(Tensor, "_accumulate", accumulate_guard)
+
+
+def uninstall() -> None:
+    """Restore every wrapped call site (back to strictly zero overhead)."""
+    while _ORIGINALS:
+        owner, attr, original = _ORIGINALS.pop()
+        setattr(owner, attr, original)
+
+
+@contextlib.contextmanager
+def guarded() -> Iterator[None]:
+    """Run a block with the guards installed (restores state on exit)."""
+    was_installed = installed()
+    install()
+    try:
+        yield
+    finally:
+        if not was_installed:
+            uninstall()

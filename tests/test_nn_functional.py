@@ -215,3 +215,43 @@ class TestLinearAndPooling:
         x = Tensor(np.ones((1, 2, 3)))
         out = F.mean_pool(x, np.zeros((1, 2)))
         assert np.isfinite(out.data).all()
+
+
+class TestGradcheckAuditRegressions:
+    """Edge cases pinned by the verify-subsystem gradcheck audit."""
+
+    def test_gelu_backward_saturates_at_float64_extremes(self):
+        # Regression: d_inner overflows to inf while sech^2 underflows to
+        # exactly 0, and 0 * inf used to poison the gradient with NaN.
+        x = Tensor(np.array([1e200, -1e200, 40.0, -40.0]),
+                   requires_grad=True, dtype=np.float64)
+        F.gelu(x).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 0.0, 1.0, 0.0])
+
+    def test_gelu_backward_finite_at_float32_extremes(self):
+        x = Tensor(np.array([1e20, -1e20], dtype=np.float32),
+                   requires_grad=True)
+        F.gelu(x).sum().backward()
+        assert np.isfinite(x.grad).all()
+        np.testing.assert_allclose(x.grad, [1.0, 0.0])
+
+    def test_tanh_backward_saturates_without_nan(self):
+        x = Tensor(np.array([40.0, -40.0, 1e30, -1e30]),
+                   requires_grad=True, dtype=np.float64)
+        F.tanh(x).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 0.0, 0.0, 0.0])
+
+    def test_mean_pool_all_masked_row_zero_output_and_gradient(self):
+        x = Tensor(np.ones((2, 3, 4)), requires_grad=True, dtype=np.float64)
+        mask = np.array([[0, 0, 0], [1, 1, 0]], dtype=np.float64)
+        out = F.mean_pool(x, mask)
+        np.testing.assert_allclose(out.data[0], 0.0)   # empty row -> zeros
+        out.sum().backward()
+        assert np.isfinite(x.grad).all()
+        np.testing.assert_allclose(x.grad[0], 0.0)     # and zero gradient
+        assert x.grad[1, 0].sum() > 0.0                # live rows still flow
+
+    def test_dropout_p_zero_is_identity(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        assert F.dropout(x, 0.0, True, np.random.default_rng(0)) is x
+        assert F.dropout(x, 0.5, False, np.random.default_rng(0)) is x

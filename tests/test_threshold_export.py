@@ -54,6 +54,49 @@ class TestBestF1Threshold:
             assert best >= binary_f1(labels, (probs >= t).astype(int)) - 1e-12
 
 
+class TestBestF1ThresholdDegenerate:
+    """Degenerate validation sets must not crash and must keep the
+    documented 0.5 default whenever no threshold achieves positive F1."""
+
+    def test_all_negative_labels_keeps_default(self):
+        labels = np.zeros(10, dtype=int)
+        probs = np.linspace(0.1, 0.9, 10)
+        threshold, f1 = best_f1_threshold(labels, probs)
+        assert threshold == 0.5
+        assert f1 == 0.0
+
+    def test_all_positive_labels(self):
+        labels = np.ones(10, dtype=int)
+        probs = np.linspace(0.1, 0.9, 10)
+        threshold, f1 = best_f1_threshold(labels, probs)
+        assert f1 == 1.0
+        assert threshold <= probs.min()
+
+    def test_all_identical_scores_mixed_labels(self):
+        labels = np.array([0, 1, 0, 1])
+        probs = np.full(4, 0.7)
+        threshold, f1 = best_f1_threshold(labels, probs)
+        assert np.isfinite(threshold)
+        # Either predict-all-positive (f1 = 2/3 here) or the 0.5 default.
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_all_identical_scores_all_negative(self):
+        labels = np.zeros(4, dtype=int)
+        probs = np.full(4, 0.3)
+        threshold, f1 = best_f1_threshold(labels, probs)
+        assert threshold == 0.5
+        assert f1 == 0.0
+
+    def test_single_element(self):
+        threshold, f1 = best_f1_threshold(np.array([1]), np.array([0.9]))
+        assert f1 == 1.0
+
+    def test_calibrate_model_empty_validation_returns_default(self):
+        from repro.eval.threshold import calibrate_model
+
+        assert calibrate_model(model=None, encoded_valid=[]) == 0.5
+
+
 class TestCsvExport:
     def test_pairs_roundtrip(self, tmp_path):
         ds = load_dataset("bikes")
