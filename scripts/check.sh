@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Repo check: tier-1 tests, the numerical verify stage (slow-marked
-# sweeps + `repro selfcheck`), and the inference-engine benchmark smoke.
+# sweeps + `repro selfcheck`), the crash-recovery suite under runtime
+# invariants, and the inference-engine benchmark smoke.
 #
 #   bash scripts/check.sh
 #
@@ -20,6 +21,9 @@ python -m pytest -q -m slow
 
 echo "== verify: selfcheck (gradcheck + invariants + golden + parity) =="
 python -m repro.cli selfcheck
+
+echo "== faults: crash-recovery matrix under runtime invariants =="
+REPRO_VERIFY=1 python -m pytest -q tests/test_crash_recovery.py
 
 echo "== engine benchmark smoke =="
 python -m pytest -q benchmarks/bench_engine.py

@@ -4,6 +4,9 @@ Commands
 --------
 - ``datasets``                 list the benchmark configurations (Table 1)
 - ``run --dataset D --model M``  train + evaluate one configuration
+- ``resume --dataset D --model M``  continue a crashed run from its
+                               newest valid checkpoint (byte-identical
+                               to an uninterrupted run)
 - ``table N``                  regenerate one of the paper's tables (1-7)
 - ``figure N``                 regenerate Figure 5 or 6
 - ``casestudy``                print the Section 4.7 case-study pair
@@ -26,13 +29,17 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
+def _cmd_run(args, resume: bool = False) -> int:
     from repro.experiments.config import PROFILES, spec_for
     from repro.experiments.runner import run_experiment
 
     profile = PROFILES[args.profile]
     spec = spec_for(args.dataset, args.size, args.model, args.seed, profile)
-    metrics = run_experiment(spec, use_cache=not args.no_cache)
+    metrics = run_experiment(
+        spec, use_cache=not args.no_cache,
+        checkpoint=resume or getattr(args, "checkpoint", False),
+        resume=resume, max_retries=getattr(args, "retries", 0),
+    )
     print(f"{args.model} on {args.dataset}/{args.size} (seed {args.seed})")
     print(f"  EM F1        = {100 * metrics['em_f1']:.2f}")
     print(f"  precision    = {100 * metrics['em_precision']:.2f}")
@@ -42,7 +49,16 @@ def _cmd_run(args) -> int:
         print(f"  ID micro-F1  = {100 * metrics['id_micro_f1']:.2f}")
     print(f"  epochs run   = {metrics['epochs_run']}"
           f"  ({metrics['train_seconds']:.1f}s)")
+    if metrics.get("nonfinite_skipped") or metrics.get("quarantined"):
+        print(f"  fault tolerance: {metrics.get('nonfinite_skipped', 0)} "
+              f"non-finite batches skipped, {metrics.get('quarantined', 0)} "
+              f"pairs quarantined")
     return 0
+
+
+def _cmd_resume(args) -> int:
+    """Continue a crashed ``run`` from its newest valid checkpoint."""
+    return _cmd_run(args, resume=True)
 
 
 def _cmd_table(args) -> int:
@@ -136,7 +152,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--profile", default="quick")
     run.add_argument("--no-cache", action="store_true")
+    run.add_argument("--checkpoint", action="store_true",
+                     help="persist full training state every epoch")
+    run.add_argument("--retries", type=int, default=0,
+                     help="resume attempts after transient training faults")
     run.set_defaults(fn=_cmd_run)
+
+    resume = sub.add_parser(
+        "resume",
+        help="continue a crashed run from its newest valid checkpoint",
+    )
+    resume.add_argument("--dataset", required=True)
+    resume.add_argument("--model", default="emba")
+    resume.add_argument("--size", default="default")
+    resume.add_argument("--seed", type=int, default=0)
+    resume.add_argument("--profile", default="quick")
+    resume.add_argument("--no-cache", action="store_true")
+    resume.add_argument("--retries", type=int, default=2,
+                        help="resume attempts after transient training faults")
+    resume.set_defaults(fn=_cmd_resume)
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=range(1, 8))

@@ -35,7 +35,8 @@ from repro.data.loader import (
     Batch,
     EncodedPair,
     PairEncoder,
-    iter_bucketed_batches,
+    collate,
+    plan_buckets,
 )
 from repro.data.schema import EMDataset, EntityPair
 from repro.engine.memo import LRUCache, array_digest, text_digest
@@ -57,6 +58,8 @@ class EngineConfig:
     encode_cache_size: int = 8192     # record-token LRU entries
     encoder_cache_size: int = 2048    # record encoder-output LRU entries
     memoize_encoder: bool = True      # use the encoder memo when decomposable
+    quarantine: bool = True           # bisect failing batches, isolate poison
+    quarantine_score: float = 0.0     # em_prob assigned to quarantined pairs
 
 
 class _PrecomputedEncoder(Module):
@@ -97,6 +100,8 @@ class InferenceEngine:
         self._token_cells = 0
         self._real_tokens = 0
         self._wall_seconds = 0.0
+        self._quarantined = 0
+        self._quarantine_log: list[tuple[int, str]] = []
 
     # ------------------------------------------------------------------
     # Stats
@@ -114,7 +119,17 @@ class InferenceEngine:
             encoder_hits=self._output_cache.hits,
             encoder_misses=self._output_cache.misses,
             wall_seconds=self._wall_seconds,
+            quarantined=self._quarantined,
         )
+
+    @property
+    def quarantine_log(self) -> list[tuple[int, str]]:
+        """(input index, error repr) for every quarantined pair since reset.
+
+        Indices are relative to the ``score_encoded`` call that produced
+        them; use the per-call ``quarantined`` output mask to map pairs.
+        """
+        return list(self._quarantine_log)
 
     def reset_stats(self) -> None:
         """Zero the counters (cache *contents* are kept)."""
@@ -123,6 +138,8 @@ class InferenceEngine:
         self._token_cells = 0
         self._real_tokens = 0
         self._wall_seconds = 0.0
+        self._quarantined = 0
+        self._quarantine_log = []
         self._token_cache.hits = self._token_cache.misses = 0
         self._output_cache.hits = self._output_cache.misses = 0
 
@@ -164,7 +181,14 @@ class InferenceEngine:
         Returns the same keys as the old per-consumer loops produced:
         ``em_prob``, ``em_pred``, optional ``id1_pred``/``id2_pred`` for
         multi-task models, plus the batch-side ``labels``/``id1``/``id2``
-        arrays (in input order).
+        arrays (in input order), and a boolean ``quarantined`` mask.
+
+        A batch whose forward pass raises does not abort the call: the
+        batch is bisected until the poison pairs are isolated, those
+        pairs are quarantined (``em_prob`` = ``config.quarantine_score``,
+        flagged in the mask and in ``EngineStats.quarantined``), and
+        every healthy pair is still scored normally.  Disable with
+        ``config.quarantine = False`` to re-raise instead.
         """
         n = len(encoded)
         if n == 0:
@@ -174,6 +198,7 @@ class InferenceEngine:
                 "labels": np.zeros(0, dtype=np.float32),
                 "id1": np.zeros(0, dtype=np.int64),
                 "id2": np.zeros(0, dtype=np.int64),
+                "quarantined": np.zeros(0, dtype=bool),
             }
         start = time.perf_counter()
         cfg = self.config
@@ -184,35 +209,73 @@ class InferenceEngine:
                 outputs[key] = np.zeros((n,) + values.shape[1:], dtype=values.dtype)
             outputs[key][index] = values
 
+        quarantined_rows: list[int] = []
         was_training = self.model.training
         self.model.eval()
         try:
             with no_grad():
-                for batch, index in iter_bucketed_batches(
-                        encoded, cfg.batch_size, max_pad_waste=cfg.max_pad_waste):
-                    output = self._forward(batch, [encoded[i] for i in index])
-                    logits = output.em_logits.data
-                    probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
-                    scatter("em_prob", index, probs)
-                    if output.id1_logits is not None:
-                        scatter("id1_pred", index,
-                                output.id1_logits.data.argmax(axis=-1))
-                    if output.id2_logits is not None:
-                        scatter("id2_pred", index,
-                                output.id2_logits.data.argmax(axis=-1))
-                    scatter("labels", index, batch.labels)
-                    scatter("id1", index, batch.id1)
-                    scatter("id2", index, batch.id2)
-                    self._batches += 1
-                    self._token_cells += int(batch.input_ids.size)
-                    self._real_tokens += int(batch.attention_mask.sum())
+                for bucket in plan_buckets([e.length for e in encoded],
+                                           cfg.batch_size,
+                                           max_pad_waste=cfg.max_pad_waste):
+                    self._score_rows(bucket, encoded, scatter, quarantined_rows)
         finally:
             if was_training:
                 self.model.train()
         outputs["em_pred"] = (outputs["em_prob"] >= cfg.threshold).astype(np.int64)
+        mask = np.zeros(n, dtype=bool)
+        if quarantined_rows:
+            mask[quarantined_rows] = True
+        outputs["quarantined"] = mask
         self._pairs_scored += n
         self._wall_seconds += time.perf_counter() - start
         return outputs
+
+    def _score_rows(self, index: np.ndarray, encoded: Sequence[EncodedPair],
+                    scatter, quarantined_rows: list[int]) -> None:
+        """Score the rows ``index``; bisect on failure to isolate poison.
+
+        A poison pair among B pairs costs O(log B) extra forward passes;
+        the healthy pairs in the bucket are all still scored.  Assertion
+        errors (including ``REPRO_VERIFY`` invariant violations) are
+        harness bugs, not data poison, and always propagate.
+        """
+        chunk = [encoded[i] for i in index]
+        batch = collate(chunk)
+        try:
+            output = self._forward(batch, chunk)
+        except AssertionError:
+            raise
+        except Exception as exc:
+            if not self.config.quarantine:
+                raise
+            if len(index) == 1:
+                row = int(index[0])
+                quarantined_rows.append(row)
+                self._quarantined += 1
+                self._quarantine_log.append((row, repr(exc)))
+                scatter("em_prob", index,
+                        np.full(1, self.config.quarantine_score, dtype=np.float32))
+                scatter("labels", index, batch.labels)
+                scatter("id1", index, batch.id1)
+                scatter("id2", index, batch.id2)
+                return
+            mid = len(index) // 2
+            self._score_rows(index[:mid], encoded, scatter, quarantined_rows)
+            self._score_rows(index[mid:], encoded, scatter, quarantined_rows)
+            return
+        logits = output.em_logits.data
+        probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+        scatter("em_prob", index, probs)
+        if output.id1_logits is not None:
+            scatter("id1_pred", index, output.id1_logits.data.argmax(axis=-1))
+        if output.id2_logits is not None:
+            scatter("id2_pred", index, output.id2_logits.data.argmax(axis=-1))
+        scatter("labels", index, batch.labels)
+        scatter("id1", index, batch.id1)
+        scatter("id2", index, batch.id2)
+        self._batches += 1
+        self._token_cells += int(batch.input_ids.size)
+        self._real_tokens += int(batch.attention_mask.sum())
 
     def score_pairs(self, pairs: Sequence[EntityPair],
                     dataset: EMDataset | None = None) -> dict[str, np.ndarray]:

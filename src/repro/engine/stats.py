@@ -23,6 +23,7 @@ class EngineStats:
     encoder_hits: int = 0         # record encoder-output cache
     encoder_misses: int = 0
     wall_seconds: float = 0.0
+    quarantined: int = 0          # poison pairs isolated by batch bisection
 
     @property
     def pad_waste_ratio(self) -> float:

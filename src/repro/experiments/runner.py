@@ -6,11 +6,19 @@ pre-training (disk-cached), model construction, fine-tuning with
 Algorithm 1, and evaluation — and returns a metrics dict.  Results are
 cached as JSON keyed by the spec digest so tables that share runs
 (2 and 3; 4 and 5) compute each run once.
+
+Crash safety: with ``checkpoint=True`` the run records per-stage
+progress under ``<cache>/progress/`` and trains through the
+:mod:`repro.ft` checkpointer, so a rerun of a crashed spec
+(``resume=True``, or the ``repro resume`` CLI) continues fine-tuning
+from the newest valid checkpoint instead of restarting, and transient
+training faults are absorbed by up to ``max_retries`` resume attempts.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import replace
 from functools import lru_cache
@@ -27,6 +35,7 @@ from repro.data.schema import EMDataset
 from repro.engine import EngineConfig, InferenceEngine
 from repro.eval.metrics import accuracy, micro_f1, precision_recall_f1
 from repro.experiments.config import MODEL_SPECS, RunSpec
+from repro.ft.faults import FaultError, fault_point
 from repro.fasttext import FastTextEncoder, train_fasttext
 from repro.models import (
     DeepMatcher,
@@ -130,18 +139,54 @@ def _results_dir() -> Path:
     return path
 
 
-def run_experiment(spec: RunSpec, use_cache: bool = True) -> dict:
+def checkpoint_dir_for(spec: RunSpec) -> Path:
+    """Where a spec's training checkpoints live (keyed by spec digest)."""
+    return cache_dir() / "checkpoints" / spec.digest()
+
+
+def progress_path_for(spec: RunSpec) -> Path:
+    """Where a spec's stage-progress record lives."""
+    return cache_dir() / "progress" / f"{spec.digest()}.json"
+
+
+def _record_progress(spec: RunSpec, stage: str, enabled: bool, **extra) -> None:
+    """Persist the spec's current pipeline stage (atomic, best-effort)."""
+    if not enabled:
+        return
+    path = progress_path_for(spec)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"stage": stage, "spec": spec.digest(), "model": spec.model,
+               "dataset": spec.dataset, **extra}
+    tmp = path.with_suffix(".json.tmp")
+    try:
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, path)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+
+
+def run_experiment(spec: RunSpec, use_cache: bool = True,
+                   checkpoint: bool = False, resume: bool = False,
+                   max_retries: int = 0) -> dict:
     """Execute one run (or load it from the result cache).
 
     Returns a flat metrics dict: ``em_f1``, ``em_precision``,
     ``em_recall``, ``acc1``, ``acc2``, ``id_micro_f1``, ``epochs_run``,
     ``train_seconds``, plus the spec fields for provenance.
+
+    ``checkpoint=True`` persists full training state per epoch and
+    records per-stage progress; ``resume=True`` (implies checkpointing)
+    continues a previously crashed run from its newest checkpoint.
+    Transient faults during training trigger up to ``max_retries``
+    rebuild-and-resume attempts before propagating.
     """
+    checkpoint = checkpoint or resume
     cache_path = _results_dir() / f"{spec.digest()}.json"
     if use_cache and cache_path.exists():
         return json.loads(cache_path.read_text(encoding="utf-8"))
 
     model_spec = MODEL_SPECS[spec.model]
+    _record_progress(spec, "load_data", checkpoint)
     dataset = load_dataset(spec.dataset, size=spec.size, seed=spec.data_seed)
     if spec.subsample_positives is not None:
         rng = np.random.default_rng(spec.seed + 7)
@@ -154,6 +199,7 @@ def run_experiment(spec: RunSpec, use_cache: bool = True) -> dict:
             metadata=dict(dataset.metadata),
         )
 
+    _record_progress(spec, "encode", checkpoint)
     tokenizer = _tokenizer_for(spec.dataset, spec.size, spec.data_seed,
                                spec.vocab_size)
     pair_encoder = PairEncoder(tokenizer, max_length=spec.max_length,
@@ -161,12 +207,6 @@ def run_experiment(spec: RunSpec, use_cache: bool = True) -> dict:
     train = pair_encoder.encode_many(dataset.train, dataset)
     valid = pair_encoder.encode_many(dataset.valid, dataset)
     test = pair_encoder.encode_many(dataset.test, dataset)
-
-    if model_spec.encoder is not None:
-        encoder, hidden = _build_encoder(model_spec.encoder, spec, tokenizer, dataset)
-    else:
-        encoder, hidden = None, 0
-    model = _build_model(spec, encoder, hidden, dataset, tokenizer)
 
     # The fastText variant is a shallow bag-of-subwords model (no deep
     # encoder to destabilize) and needs a hotter rate, mirroring
@@ -179,10 +219,39 @@ def run_experiment(spec: RunSpec, use_cache: bool = True) -> dict:
         learning_rate=learning_rate, patience=spec.patience,
         seed=spec.seed,
     ))
+    ckpt_dir = checkpoint_dir_for(spec) if checkpoint else None
+
+    # Rebuild encoder + model on every attempt: a failed attempt leaves
+    # mid-epoch weights behind, and a resume must start from either the
+    # checkpoint or a deterministic fresh init — never dirty state.
+    # (Encoder pre-training itself is memoized on disk, so rebuilds are
+    # cheap.)
+    attempts = 0
     start = time.perf_counter()
-    fit = trainer.fit(model, train, valid)
+    while True:
+        _record_progress(spec, "build_model", checkpoint, attempt=attempts)
+        if model_spec.encoder is not None:
+            encoder, hidden = _build_encoder(model_spec.encoder, spec,
+                                             tokenizer, dataset)
+        else:
+            encoder, hidden = None, 0
+        model = _build_model(spec, encoder, hidden, dataset, tokenizer)
+        try:
+            _record_progress(spec, "train", checkpoint, attempt=attempts)
+            fault_point("runner.train")
+            fit = trainer.fit(model, train, valid, checkpoint_dir=ckpt_dir,
+                              resume=resume or attempts > 0)
+            break
+        except (FaultError, OSError) as exc:
+            transient = getattr(exc, "transient", True)
+            if ckpt_dir is None or not transient or attempts >= max_retries:
+                _record_progress(spec, "failed", checkpoint,
+                                 attempt=attempts, error=repr(exc))
+                raise
+            attempts += 1
     train_seconds = time.perf_counter() - start
 
+    _record_progress(spec, "evaluate", checkpoint, attempt=attempts)
     engine = InferenceEngine(model, config=EngineConfig(batch_size=spec.batch_size))
     preds = engine.score_encoded(test)
     engine_stats = engine.stats
@@ -194,6 +263,9 @@ def run_experiment(spec: RunSpec, use_cache: bool = True) -> dict:
         "epochs_run": fit.epochs_run,
         "best_valid_f1": fit.best_valid_f1,
         "train_seconds": train_seconds,
+        "train_attempts": attempts + 1,
+        "nonfinite_skipped": fit.nonfinite_skipped,
+        "quarantined": engine_stats.quarantined,
         "infer_seconds": engine_stats.wall_seconds,
         "infer_pairs_per_s": engine_stats.pairs_per_second,
         "infer_pad_waste": engine_stats.pad_waste_ratio,
@@ -206,6 +278,7 @@ def run_experiment(spec: RunSpec, use_cache: bool = True) -> dict:
         pooled_true = np.concatenate([preds["id1"], preds["id2"]])
         pooled_pred = np.concatenate([preds["id1_pred"], preds["id2_pred"]])
         metrics["id_micro_f1"] = micro_f1(pooled_true, pooled_pred)
+    _record_progress(spec, "done", checkpoint, attempt=attempts)
     if use_cache:
         cache_path.write_text(json.dumps(metrics), encoding="utf-8")
     return metrics

@@ -1,0 +1,50 @@
+"""Fault tolerance: crash-safe training and deterministic fault injection.
+
+Three coordinated layers keep long runs alive:
+
+- :mod:`repro.ft.checkpoint` — atomic, checksummed, full-state training
+  checkpoints (model + Adam moments + schedule + RNG streams + early
+  stopping + history) with keep-last-k retention and corruption
+  fallback; ``Trainer.fit(checkpoint_dir=..., resume=True)`` resumes a
+  killed run byte-identically.
+- :mod:`repro.ft.faults` — a :class:`FaultPlan` registry that injects
+  crashes, ENOSPC, NaN losses, and poison pairs at exact sites and hit
+  counts, driving the crash-recovery test suite deterministically.
+- graceful engine degradation lives in :mod:`repro.engine.core`: a
+  scoring failure bisects the batch, quarantines the poison pairs, and
+  completes the rest (see ``EngineStats.quarantined``).
+"""
+
+from repro.ft.checkpoint import (
+    Checkpointer,
+    TrainingState,
+    collect_module_rngs,
+    restore_module_rngs,
+    rng_state,
+    set_rng_state,
+)
+from repro.ft.faults import (
+    FaultError,
+    FaultPlan,
+    PoisonError,
+    PoisonPairs,
+    fault_point,
+    inject,
+)
+from repro.nn.serialization import CheckpointError
+
+__all__ = [
+    "CheckpointError",
+    "Checkpointer",
+    "FaultError",
+    "FaultPlan",
+    "PoisonError",
+    "PoisonPairs",
+    "TrainingState",
+    "collect_module_rngs",
+    "fault_point",
+    "inject",
+    "restore_module_rngs",
+    "rng_state",
+    "set_rng_state",
+]

@@ -1,0 +1,171 @@
+"""Deterministic fault injection for crash-recovery testing.
+
+A :class:`FaultPlan` schedules failures at named *sites* and exact hit
+counts, so a test can say "crash at the end of epoch 2" or "NaN-ify the
+fifth training loss" and get exactly that, every run.  Instrumented code
+calls :func:`fault_point` at its sites; with no plan installed the call
+is a no-op returning its value unchanged, so production paths pay one
+``is None`` check.
+
+Sites currently instrumented:
+
+- ``trainer.epoch_start``   — hit once per training epoch
+- ``trainer.loss``          — hit once per batch, value = the loss tensor
+- ``trainer.epoch_end``     — hit after the epoch's checkpoint is saved
+- ``checkpoint.write``      — hit before a checkpoint's arrays are written
+- ``checkpoint.manifest``   — hit between array write and manifest commit
+- ``runner.train``          — hit before each training attempt of a run
+
+:class:`PoisonPairs` covers the other injection mode the engine tests
+need: a model wrapper that raises whenever a scored batch contains one
+of the designated poison pairs, regardless of batching, so the engine's
+bisection logic can be exercised on randomized workloads.
+"""
+
+from __future__ import annotations
+
+import errno
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+class FaultError(RuntimeError):
+    """An injected crash, distinguishable from organic failures.
+
+    ``transient`` marks faults that a bounded-retry caller (the
+    experiment runner) is allowed to absorb by resuming from checkpoint.
+    """
+
+    def __init__(self, site: str, hit: int, transient: bool = False):
+        super().__init__(f"injected fault at {site!r} (hit {hit})")
+        self.site = site
+        self.hit = hit
+        self.transient = transient
+
+
+class PoisonError(RuntimeError):
+    """Raised by :class:`PoisonPairs` when a batch contains a poison pair."""
+
+
+@dataclass
+class _Fault:
+    site: str
+    at: int                              # fire on the at-th hit (0-based)
+    exc: BaseException | None = None     # raise this ...
+    mutate: Callable | None = None       # ... or transform the site value
+    fired: bool = False
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of failures keyed by (site, hit count)."""
+
+    faults: list[_Fault] = field(default_factory=list)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def fail_at(self, site: str, hit: int, exc: BaseException | None = None,
+                transient: bool = False) -> "FaultPlan":
+        """Raise at the ``hit``-th visit of ``site`` (default FaultError)."""
+        if exc is None:
+            exc = FaultError(site, hit, transient=transient)
+        self.faults.append(_Fault(site=site, at=hit, exc=exc))
+        return self
+
+    def enospc_at(self, site: str, hit: int) -> "FaultPlan":
+        """Raise ``OSError(ENOSPC)`` — a full disk — at (site, hit)."""
+        return self.fail_at(site, hit, exc=OSError(errno.ENOSPC,
+                                                   "injected: no space left on device"))
+
+    def mutate_at(self, site: str, hit: int, fn: Callable) -> "FaultPlan":
+        """Pass the site's value through ``fn`` at the given hit."""
+        self.faults.append(_Fault(site=site, at=hit, mutate=fn))
+        return self
+
+    def nanify_loss_at(self, hit: int) -> "FaultPlan":
+        """NaN-ify the ``trainer.loss`` value at the given batch hit."""
+        from repro.nn.tensor import Tensor
+
+        return self.mutate_at("trainer.loss", hit,
+                              lambda loss: Tensor(np.float32(np.nan)))
+
+    def hits(self, site: str) -> int:
+        """How many times ``site`` has been visited under this plan."""
+        return self.counts.get(site, 0)
+
+    @property
+    def fired(self) -> list[tuple[str, int]]:
+        return [(f.site, f.at) for f in self.faults if f.fired]
+
+    def visit(self, site: str, value=None):
+        index = self.counts.get(site, 0)
+        self.counts[site] = index + 1
+        for fault in self.faults:
+            if fault.site != site or fault.at != index:
+                continue
+            fault.fired = True
+            if fault.exc is not None:
+                raise fault.exc
+            value = fault.mutate(value)
+        return value
+
+
+_ACTIVE: FaultPlan | None = None
+
+
+def fault_point(site: str, value=None):
+    """Visit a fault site; inert (returns ``value``) without a plan."""
+    if _ACTIVE is None:
+        return value
+    return _ACTIVE.visit(site, value)
+
+
+@contextmanager
+def inject(plan: FaultPlan):
+    """Install ``plan`` as the process-wide fault plan for the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous
+
+
+def _row_key(input_ids: np.ndarray, attention_mask: np.ndarray | None = None) -> bytes:
+    ids = np.asarray(input_ids, dtype=np.int64)
+    if attention_mask is not None:
+        ids = ids[np.asarray(attention_mask) > 0]
+    return ids.tobytes()
+
+
+class PoisonPairs:
+    """Model wrapper raising :class:`PoisonError` on designated pairs.
+
+    The poison set is keyed by the pair's unpadded ``input_ids`` bytes,
+    so detection is independent of how the engine batches or pads the
+    workload — exactly the property batch-bisection tests need.
+    Attribute access delegates to the wrapped model.
+    """
+
+    def __init__(self, model, poisoned):
+        object.__setattr__(self, "model", model)
+        object.__setattr__(self, "poisoned",
+                           {_row_key(e.input_ids) for e in poisoned})
+
+    def is_poisoned(self, encoded_pair) -> bool:
+        return _row_key(encoded_pair.input_ids) in self.poisoned
+
+    def __call__(self, batch):
+        for row in range(batch.input_ids.shape[0]):
+            if _row_key(batch.input_ids[row], batch.attention_mask[row]) in self.poisoned:
+                raise PoisonError(f"poison pair in batch row {row}")
+        return self.model(batch)
+
+    def __getattr__(self, name):
+        return getattr(object.__getattribute__(self, "model"), name)
+
+    def __setattr__(self, name, value):
+        setattr(object.__getattribute__(self, "model"), name, value)

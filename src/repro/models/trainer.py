@@ -7,20 +7,40 @@ model's ``loss``), backpropagates, and applies Adam under a linear
 warmup-decay schedule.  Early stopping watches validation EM F1 with the
 paper's patience mechanism, and the best validation snapshot is restored
 at the end.
+
+The loop is crash-safe: pass ``checkpoint_dir=`` to persist the full
+training state (weights, Adam moments, RNG streams, early stopping,
+history) at every epoch boundary, and ``resume=True`` to continue a
+killed run from its newest valid checkpoint — the resumed run finishes
+byte-identical to an uninterrupted one.  Non-finite losses (one poison
+batch must not kill a run) are skipped and counted; past a bounded
+number per epoch the loop restores the last checkpoint with a halved
+peak learning rate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
 
 import numpy as np
 
 from repro.data.loader import EncodedPair, iter_batches
 from repro.engine import EngineConfig, InferenceEngine
 from repro.eval.metrics import binary_f1
+from repro.ft.checkpoint import (
+    Checkpointer,
+    TrainingState,
+    collect_module_rngs,
+    restore_module_rngs,
+    rng_state,
+    set_rng_state,
+)
+from repro.ft.faults import fault_point
 from repro.models.base import EMModel
 from repro.nn.optim import Adam, clip_grad_norm_
 from repro.nn.schedules import LinearWarmupDecay
+from repro.nn.serialization import CheckpointError
 
 
 @dataclass
@@ -34,17 +54,34 @@ class TrainConfig:
     patience: int = 4               # early stopping on validation F1
     max_grad_norm: float = 1.0
     seed: int = 0
+    # Fault tolerance: skip up to this many non-finite-loss batches per
+    # epoch before rolling back to the last checkpoint with a halved LR
+    # (rollback needs a checkpoint_dir; without one the loop keeps
+    # skipping), up to max_lr_halvings times per run.
+    max_nonfinite_batches: int = 8
+    max_lr_halvings: int = 4
+    keep_checkpoints: int = 3
 
 
 @dataclass
 class TrainResult:
-    """Loss/metric history of a completed run."""
+    """Loss/metric history of a completed run.
+
+    ``best_epoch`` is the epoch whose weights were restored at the end:
+    the best-validation epoch when a validation set was given, otherwise
+    the final epoch (``epochs_run - 1``) since the final weights win.
+    ``best_valid_f1`` stays 0.0 without a validation set.
+    """
 
     train_losses: list[float] = field(default_factory=list)
     valid_f1s: list[float] = field(default_factory=list)
     best_valid_f1: float = 0.0
     best_epoch: int = -1
     epochs_run: int = 0
+    stopped: bool = False           # early stopping fired
+    nonfinite_skipped: int = 0      # batches skipped for NaN/Inf loss
+    lr_halvings: int = 0            # divergence rollbacks performed
+    checkpoint_failures: int = 0    # checkpoint saves that failed (e.g. ENOSPC)
 
 
 class EarlyStopping:
@@ -68,6 +105,16 @@ class EarlyStopping:
         self._since_best += 1
         return self._since_best >= self.patience
 
+    def state_dict(self) -> dict:
+        return {"patience": self.patience, "best": float(self.best),
+                "best_epoch": self.best_epoch, "since_best": self._since_best}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.patience = int(state["patience"])
+        self.best = float(state["best"])
+        self.best_epoch = int(state["best_epoch"])
+        self._since_best = int(state["since_best"])
+
 
 class Trainer:
     """Fits an :class:`EMModel` on encoded pairs."""
@@ -89,9 +136,53 @@ class Trainer:
         out = self._engine(model, batch_size).score_encoded(encoded)
         return binary_f1(out["labels"], out["em_pred"])
 
+    # ------------------------------------------------------------------
+    # Checkpoint plumbing
+    # ------------------------------------------------------------------
+    def _capture(self, epoch: int, model: EMModel, best_state: dict,
+                 optimizer: Adam, schedule: LinearWarmupDecay,
+                 stopper: EarlyStopping, result: TrainResult,
+                 rng: np.random.Generator, lr_scale: float) -> TrainingState:
+        return TrainingState(
+            epoch=epoch,
+            model=model.state_dict(),
+            best_model=best_state,
+            optimizer=optimizer.state_dict(),
+            schedule=schedule.state_dict(),
+            trainer_rng=rng_state(rng),
+            module_rngs=collect_module_rngs(model),
+            stopper=stopper.state_dict(),
+            result=asdict(result),
+            lr_scale=lr_scale,
+        )
+
+    @staticmethod
+    def _restore(state: TrainingState, model: EMModel, optimizer: Adam,
+                 schedule: LinearWarmupDecay, stopper: EarlyStopping,
+                 result: TrainResult, rng: np.random.Generator) -> dict:
+        """Load a checkpoint into live objects; returns the best-state dict."""
+        model.load_state_dict(state.model)
+        optimizer.load_state_dict(state.optimizer)
+        schedule.load_state_dict(state.schedule)
+        stopper.load_state_dict(state.stopper)
+        set_rng_state(rng, state.trainer_rng)
+        restore_module_rngs(model, state.module_rngs)
+        for f in fields(TrainResult):
+            if f.name in state.result:
+                setattr(result, f.name, state.result[f.name])
+        return dict(state.best_model)
+
     def fit(self, model: EMModel, train: list[EncodedPair],
-            valid: list[EncodedPair]) -> TrainResult:
-        """Train with Algorithm 1 and restore the best validation state."""
+            valid: list[EncodedPair],
+            checkpoint_dir: str | Path | None = None,
+            resume: bool = False) -> TrainResult:
+        """Train with Algorithm 1 and restore the best validation state.
+
+        With ``checkpoint_dir`` the full training state is persisted at
+        every epoch boundary; ``resume=True`` additionally restores the
+        newest valid checkpoint before training (a fresh run starts when
+        none exists).
+        """
         cfg = self.config
         if not train:
             raise ValueError("empty training set")
@@ -108,37 +199,104 @@ class Trainer:
         stopper = EarlyStopping(cfg.patience)
         result = TrainResult()
         best_state = model.state_dict()
+        lr_scale = 1.0
 
-        for epoch in range(cfg.epochs):
+        checkpointer = (Checkpointer(checkpoint_dir, keep_last=cfg.keep_checkpoints)
+                        if checkpoint_dir is not None else None)
+        start_epoch = 0
+        if checkpointer is not None and resume:
+            state = checkpointer.load_latest()
+            if state is not None:
+                best_state = self._restore(state, model, optimizer, schedule,
+                                           stopper, result, rng)
+                start_epoch = state.epoch
+                lr_scale = state.lr_scale
+
+        epoch = start_epoch
+        while epoch < cfg.epochs and not result.stopped:
+            fault_point("trainer.epoch_start")
             model.train()
             epoch_losses = []
+            skipped_this_epoch = 0
+            rolled_back = False
+            rollback_tried = False
             for batch in iter_batches(train, cfg.batch_size, rng=rng):
                 output = model(batch)
                 loss = model.loss(output, batch)
+                loss = fault_point("trainer.loss", loss)
+                if not np.isfinite(float(loss.data)):
+                    # Poison batch: skip the update, keep the LR
+                    # trajectory aligned with the step count.
+                    model.zero_grad()
+                    schedule.step()
+                    result.nonfinite_skipped += 1
+                    skipped_this_epoch += 1
+                    if (skipped_this_epoch > cfg.max_nonfinite_batches
+                            and result.lr_halvings < cfg.max_lr_halvings
+                            and checkpointer is not None
+                            and not rollback_tried):
+                        rollback_tried = True
+                        restored = checkpointer.load_latest()
+                        if restored is not None:
+                            rolled_back = True
+                            break
+                    continue
                 model.zero_grad()
                 loss.backward()
                 clip_grad_norm_(model.parameters(), cfg.max_grad_norm)
                 optimizer.step()
                 schedule.step()
                 epoch_losses.append(float(loss.data))
-            result.train_losses.append(float(np.mean(epoch_losses)))
+
+            if rolled_back:
+                # The epoch diverged: rewind to the last good boundary
+                # and retry it at half the peak learning rate.  Counters
+                # accumulated since that boundary survive the rewind.
+                skipped_total = result.nonfinite_skipped
+                halvings = result.lr_halvings
+                failures = result.checkpoint_failures
+                best_state = self._restore(restored, model, optimizer,
+                                           schedule, stopper, result, rng)
+                result.nonfinite_skipped = skipped_total
+                result.lr_halvings = halvings + 1
+                result.checkpoint_failures = failures
+                lr_scale = restored.lr_scale * 0.5
+                schedule.peak_lr = cfg.learning_rate * lr_scale
+                epoch = restored.epoch
+                continue
+
+            result.train_losses.append(
+                float(np.mean(epoch_losses)) if epoch_losses else float("nan"))
 
             valid_f1 = self.evaluate_f1(model, valid) if valid else 0.0
             result.valid_f1s.append(valid_f1)
             result.epochs_run = epoch + 1
-            if not valid:
+            if valid:
+                if valid_f1 > stopper.best:
+                    best_state = model.state_dict()
+                result.stopped = stopper.update(valid_f1, epoch)
+            else:
                 # No validation set: the final weights win.
                 best_state = model.state_dict()
-                continue
-            if valid_f1 > stopper.best:
-                best_state = model.state_dict()
-            if stopper.update(valid_f1, epoch):
-                break
+
+            if checkpointer is not None:
+                try:
+                    checkpointer.save(self._capture(
+                        epoch + 1, model, best_state, optimizer, schedule,
+                        stopper, result, rng, lr_scale))
+                except (OSError, CheckpointError):
+                    # A failed save (e.g. ENOSPC) must not kill training;
+                    # the previous checkpoint remains the resume point.
+                    result.checkpoint_failures += 1
+            fault_point("trainer.epoch_end")
+            epoch += 1
 
         model.load_state_dict(best_state)
         model.eval()
         result.best_valid_f1 = max(result.valid_f1s) if result.valid_f1s else 0.0
-        result.best_epoch = stopper.best_epoch
+        # Without validation the stopper never runs: the restored weights
+        # are the final epoch's, so report that epoch rather than -1.
+        result.best_epoch = stopper.best_epoch if valid else result.epochs_run - 1
         return result
 
     def predict_all(self, model: EMModel, encoded: list[EncodedPair]

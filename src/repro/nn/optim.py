@@ -46,6 +46,36 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # State persistence (consumed by repro.ft checkpointing)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Scalars plus per-parameter slot arrays; arrays are copies."""
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a state produced by :meth:`state_dict`.
+
+        The optimizer must have been constructed over the same parameter
+        list (same order and shapes) as the one that was saved.
+        """
+        self.lr = float(state["lr"])
+
+    def _check_slots(self, state: dict, names: tuple[str, ...]) -> None:
+        for name in names:
+            arrays = state[name]
+            if len(arrays) != len(self.parameters):
+                raise ValueError(
+                    f"optimizer state mismatch: {len(arrays)} {name!r} slots "
+                    f"for {len(self.parameters)} parameters"
+                )
+            for array, p in zip(arrays, self.parameters):
+                if np.asarray(array).shape != p.data.shape:
+                    raise ValueError(
+                        f"optimizer slot shape mismatch in {name!r}: "
+                        f"{np.asarray(array).shape} vs {p.data.shape}"
+                    )
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -65,6 +95,17 @@ class SGD(Optimizer):
                 p.data -= self.lr * v
             else:
                 p.data -= self.lr * p.grad
+
+    def state_dict(self) -> dict:
+        return {"lr": self.lr, "momentum": self.momentum,
+                "velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state["momentum"])
+        self._check_slots(state, ("velocity",))
+        self._velocity = [np.array(v, dtype=p.data.dtype)
+                          for v, p in zip(state["velocity"], self.parameters)]
 
 
 class Adam(Optimizer):
@@ -99,3 +140,25 @@ class Adam(Optimizer):
             if self.weight_decay:
                 update = update + self.weight_decay * p.data
             p.data -= self.lr * update
+
+    def state_dict(self) -> dict:
+        return {
+            "lr": self.lr, "beta1": self.beta1, "beta2": self.beta2,
+            "eps": self.eps, "weight_decay": self.weight_decay,
+            "step": self._step,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._step = int(state["step"])
+        self._check_slots(state, ("m", "v"))
+        self._m = [np.array(m, dtype=p.data.dtype)
+                   for m, p in zip(state["m"], self.parameters)]
+        self._v = [np.array(v, dtype=p.data.dtype)
+                   for v, p in zip(state["v"], self.parameters)]

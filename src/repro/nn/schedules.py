@@ -26,6 +26,18 @@ class Schedule:
         self.optimizer.lr = lr
         return lr
 
+    # ------------------------------------------------------------------
+    # State persistence (consumed by repro.ft checkpointing)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"count": self._count}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the step counter and re-derive the optimizer's lr."""
+        self._count = int(state["count"])
+        if self._count:
+            self.optimizer.lr = self.lr_at(self._count)
+
 
 class ConstantSchedule(Schedule):
     """Keeps the learning rate fixed (useful for tests and ablations)."""
@@ -64,3 +76,12 @@ class LinearWarmupDecay(Schedule):
         remaining = max(self.total_steps - step, 0)
         denom = max(self.total_steps - self.warmup_steps, 1)
         return self.peak_lr * remaining / denom
+
+    def state_dict(self) -> dict:
+        # peak_lr is mutable at runtime: the trainer halves it when a run
+        # diverges and rolls back, so it must survive a resume.
+        return {**super().state_dict(), "peak_lr": self.peak_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.peak_lr = float(state.get("peak_lr", self.peak_lr))
+        super().load_state_dict(state)

@@ -1,12 +1,19 @@
 """State-dict persistence as ``.npz`` archives.
 
 Used by the BERT pre-training cache so that expensive MLM pre-training
-runs once per (config, corpus) pair and is reused across experiments.
+runs once per (config, corpus) pair and is reused across experiments,
+and by the :mod:`repro.ft` checkpointer for full training state.
+
+Writes are atomic (temp file + ``os.replace``) and never leave a stale
+``.tmp`` behind when they fail mid-stream; reads raise
+:class:`CheckpointError` instead of leaking ``zipfile.BadZipFile`` when
+the archive is missing, truncated, or corrupt.
 """
 
 from __future__ import annotations
 
 import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -14,22 +21,51 @@ import numpy as np
 from repro.nn.module import Module
 
 
-def save_state_dict(module: Module, path: str | Path) -> None:
-    """Write a module's parameters to ``path`` (npz, atomic rename)."""
+class CheckpointError(RuntimeError):
+    """A checkpoint archive is missing, truncated, or corrupt."""
+
+
+def save_arrays(path: str | Path, arrays: dict[str, np.ndarray]) -> None:
+    """Atomically write a named-array dict to ``path`` as npz.
+
+    The archive is staged to ``<path>.tmp`` and renamed into place only
+    once fully written; a failure mid-stream removes the partial file.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(path.suffix + ".tmp")
-    state = module.state_dict()
-    # Write through a file handle: np.savez would otherwise append ".npz"
-    # to the temporary name and break the atomic rename.
-    with open(tmp, "wb") as handle:
-        np.savez(handle, **state)
-    os.replace(tmp, path)
+    try:
+        # Write through a file handle: np.savez would otherwise append
+        # ".npz" to the temporary name and break the atomic rename.
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def load_arrays(path: str | Path) -> dict[str, np.ndarray]:
+    """Load a named-array dict saved by :func:`save_arrays`.
+
+    Raises :class:`CheckpointError` when the file is absent or is not a
+    readable npz archive (e.g. truncated by a crash or ENOSPC).
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            return {key: archive[key] for key in archive.files}
+    except FileNotFoundError as exc:
+        raise CheckpointError(f"checkpoint not found: {path}") from exc
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is truncated or corrupt: {exc}") from exc
+
+
+def save_state_dict(module: Module, path: str | Path) -> None:
+    """Write a module's parameters to ``path`` (npz, atomic rename)."""
+    save_arrays(path, module.state_dict())
 
 
 def load_state_dict(module: Module, path: str | Path, strict: bool = True) -> None:
     """Load parameters saved by :func:`save_state_dict` into ``module``."""
-    path = Path(path)
-    with np.load(path) as archive:
-        state = {key: archive[key] for key in archive.files}
-    module.load_state_dict(state, strict=strict)
+    module.load_state_dict(load_arrays(path), strict=strict)
