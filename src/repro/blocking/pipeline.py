@@ -19,6 +19,7 @@ from repro.data.loader import PairEncoder
 from repro.data.schema import EntityPair, EntityRecord
 from repro.engine import EngineConfig, EngineStats, InferenceEngine
 from repro.models.base import EMModel
+from repro import obs
 
 
 @dataclass(frozen=True)
@@ -61,17 +62,28 @@ class MatchingPipeline:
     def match(self, left: Sequence[EntityRecord],
               right: Sequence[EntityRecord]) -> list[MatchDecision]:
         """Score every blocking candidate; return decisions sorted by prob."""
-        result = self.blocker.block(left, right)
-        candidates = result.candidates
-        pairs = [EntityPair(left[c.left], right[c.right], 0)
-                 for c in candidates]
-        probs = self.engine.predict_proba(pairs)
-        decisions = [
-            MatchDecision(c.left, c.right, float(p), threshold=self.threshold)
-            for c, p in zip(candidates, probs)
-        ]
-        decisions.sort(key=lambda d: d.probability, reverse=True)
-        return decisions
+        blocker_name = type(self.blocker).__name__
+        with obs.span("pipeline.match", blocker=blocker_name,
+                      left=len(left), right=len(right)):
+            with obs.span("pipeline.block", blocker=blocker_name) as block_span:
+                result = self.blocker.block(left, right)
+                block_span.set("candidates", result.comparison_count)
+            if obs.enabled():
+                obs.inc("blocking.candidates", result.comparison_count)
+                obs.inc(f"blocking.candidates.{blocker_name}",
+                        result.comparison_count)
+                obs.observe("blocking.candidates_per_call",
+                            result.comparison_count)
+            candidates = result.candidates
+            pairs = [EntityPair(left[c.left], right[c.right], 0)
+                     for c in candidates]
+            probs = self.engine.predict_proba(pairs)
+            decisions = [
+                MatchDecision(c.left, c.right, float(p), threshold=self.threshold)
+                for c, p in zip(candidates, probs)
+            ]
+            decisions.sort(key=lambda d: d.probability, reverse=True)
+            return decisions
 
     def matches(self, left: Sequence[EntityRecord],
                 right: Sequence[EntityRecord]) -> list[MatchDecision]:

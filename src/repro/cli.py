@@ -14,6 +14,14 @@ Commands
                                naive scoring loop on a blocking workload
 - ``selfcheck``                numerical certification: gradcheck sweep,
                                runtime invariants, golden digests, parity
+- ``trace FILE``               render a JSON-lines trace (written via
+                               ``--trace-file`` or ``REPRO_TRACE=<path>``)
+                               as a span tree plus the metrics table
+
+``run``, ``resume``, and ``profile-engine`` accept ``--trace`` (print a
+span tree + metrics summary after the command) and ``--trace-file PATH``
+(stream the trace to ``PATH`` as JSON lines); ``REPRO_TRACE=1`` in the
+environment enables the same telemetry for any command.
 """
 
 from __future__ import annotations
@@ -125,6 +133,25 @@ def _cmd_selfcheck(args) -> int:
     return run_selfcheck(quick=args.quick, seed=args.seed)
 
 
+def _cmd_trace(args) -> int:
+    """Render a JSON-lines trace file: span tree + metrics table."""
+    from repro.obs import read_jsonl, render_metrics, tree_summary
+
+    try:
+        records, metrics = read_jsonl(args.file)
+    except FileNotFoundError:
+        print(f"no such trace file: {args.file}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"malformed trace: {exc}", file=sys.stderr)
+        return 2
+    print(tree_summary(records))
+    if metrics is not None and not args.no_metrics:
+        print()
+        print(render_metrics(metrics))
+    return 0
+
+
 def _cmd_casestudy(args) -> int:
     from repro.experiments.casestudy import case_study_pair
 
@@ -145,6 +172,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("datasets", help="list benchmark datasets (Table 1)"
                    ).set_defaults(fn=_cmd_datasets)
 
+    def add_trace_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", action="store_true",
+                       help="enable telemetry; print span tree + metrics at exit")
+        p.add_argument("--trace-file", default="",
+                       help="stream the trace to this file as JSON lines "
+                            "(implies --trace; read back with `repro trace`)")
+
     run = sub.add_parser("run", help="train and evaluate one configuration")
     run.add_argument("--dataset", required=True)
     run.add_argument("--model", default="emba")
@@ -156,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persist full training state every epoch")
     run.add_argument("--retries", type=int, default=0,
                      help="resume attempts after transient training faults")
+    add_trace_flags(run)
     run.set_defaults(fn=_cmd_run)
 
     resume = sub.add_parser(
@@ -170,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--no-cache", action="store_true")
     resume.add_argument("--retries", type=int, default=2,
                         help="resume attempts after transient training faults")
+    add_trace_flags(resume)
     resume.set_defaults(fn=_cmd_resume)
 
     table = sub.add_parser("table", help="regenerate a paper table")
@@ -197,7 +233,18 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--batch-size", type=int, default=32)
     engine.add_argument("--max-pairs", type=int, default=400)
     engine.add_argument("--repeats", type=int, default=3)
+    add_trace_flags(engine)
     engine.set_defaults(fn=_cmd_profile_engine)
+
+    trace = sub.add_parser(
+        "trace",
+        help="render a JSON-lines telemetry trace as a span tree + metrics",
+    )
+    trace.add_argument("file", help="trace file written via --trace-file "
+                                    "or REPRO_TRACE=<path>")
+    trace.add_argument("--no-metrics", action="store_true",
+                       help="omit the metrics table")
+    trace.set_defaults(fn=_cmd_trace)
 
     sub.add_parser("casestudy", help="print the Sec. 4.7 case-study pair"
                    ).set_defaults(fn=_cmd_casestudy)
@@ -216,7 +263,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    from repro import obs
+
+    if getattr(args, "trace", False) or getattr(args, "trace_file", ""):
+        obs.enable(trace_path=getattr(args, "trace_file", "") or None)
+    code = args.fn(args)
+    # Summarize live telemetry (from --trace or REPRO_TRACE) after the
+    # command; `trace` itself reads a file and needs no live summary.
+    if obs.enabled() and args.command != "trace":
+        print()
+        print(obs.render_summary())
+        obs.disable()
+    return code
 
 
 if __name__ == "__main__":

@@ -80,13 +80,23 @@ class PairEncoder:
         self._sep = vocab.token_to_id(SEP_TOKEN)
 
     def _truncate(self, tokens1: list[str], tokens2: list[str]) -> tuple[list[str], list[str]]:
+        # Closed form of the one-token-at-a-time longest_first loop
+        # (trim the longer list, ties trim tokens1): a list short enough
+        # to never be the longer one survives whole and the other gets
+        # the remaining budget; otherwise both converge to half, with
+        # the tie rule giving tokens2 the odd token.
         budget = self.max_length - 3
-        while len(tokens1) + len(tokens2) > budget:
-            if len(tokens1) >= len(tokens2):
-                tokens1 = tokens1[:-1]
-            else:
-                tokens2 = tokens2[:-1]
-        return tokens1, tokens2
+        n1, n2 = len(tokens1), len(tokens2)
+        if n1 + n2 <= budget:
+            return tokens1, tokens2
+        half = budget // 2
+        if n1 <= half:
+            l1, l2 = n1, budget - n1
+        elif n2 <= budget - half:
+            l1, l2 = budget - n2, n2
+        else:
+            l1, l2 = half, budget - half
+        return tokens1[:l1], tokens2[:l2]
 
     def record_text(self, record: EntityRecord) -> str:
         """The serialized text of one record under this encoder's style."""

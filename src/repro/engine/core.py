@@ -41,6 +41,7 @@ from repro.data.loader import (
 from repro.data.schema import EMDataset, EntityPair
 from repro.engine.memo import LRUCache, array_digest, text_digest
 from repro.engine.stats import EngineStats
+from repro import obs
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, no_grad
 
@@ -170,7 +171,8 @@ class InferenceEngine:
 
     def encode_pairs(self, pairs: Sequence[EntityPair],
                      dataset: EMDataset | None = None) -> list[EncodedPair]:
-        return [self.encode_pair(p, dataset) for p in pairs]
+        with obs.span("engine.encode", pairs=len(pairs)):
+            return [self.encode_pair(p, dataset) for p in pairs]
 
     # ------------------------------------------------------------------
     # Scoring
@@ -213,10 +215,13 @@ class InferenceEngine:
         was_training = self.model.training
         self.model.eval()
         try:
-            with no_grad():
-                for bucket in plan_buckets([e.length for e in encoded],
+            with obs.span("engine.score", pairs=n), no_grad():
+                with obs.span("engine.bucket") as bucket_span:
+                    buckets = plan_buckets([e.length for e in encoded],
                                            cfg.batch_size,
-                                           max_pad_waste=cfg.max_pad_waste):
+                                           max_pad_waste=cfg.max_pad_waste)
+                    bucket_span.set("buckets", len(buckets))
+                for bucket in buckets:
                     self._score_rows(bucket, encoded, scatter, quarantined_rows)
         finally:
             if was_training:
@@ -228,7 +233,20 @@ class InferenceEngine:
         outputs["quarantined"] = mask
         self._pairs_scored += n
         self._wall_seconds += time.perf_counter() - start
+        if obs.enabled():
+            self._export_metrics(n)
         return outputs
+
+    def _export_metrics(self, pairs: int) -> None:
+        """Re-export the cumulative :class:`EngineStats` into ``repro.obs``."""
+        obs.inc("engine.pairs_scored", pairs)
+        stats = self.stats
+        obs.gauge("engine.pad_waste_ratio", stats.pad_waste_ratio)
+        obs.gauge("engine.encode_hit_rate", stats.encode_hit_rate)
+        obs.gauge("engine.encoder_hit_rate", stats.encoder_hit_rate)
+        obs.gauge("engine.pairs_per_second", stats.pairs_per_second)
+        obs.gauge("engine.batches", stats.batches)
+        obs.gauge("engine.quarantined", stats.quarantined)
 
     def _score_rows(self, index: np.ndarray, encoded: Sequence[EncodedPair],
                     scatter, quarantined_rows: list[int]) -> None:
@@ -242,7 +260,9 @@ class InferenceEngine:
         chunk = [encoded[i] for i in index]
         batch = collate(chunk)
         try:
-            output = self._forward(batch, chunk)
+            with obs.span("engine.forward", rows=len(index),
+                          max_len=batch.input_ids.shape[1]):
+                output = self._forward(batch, chunk)
         except AssertionError:
             raise
         except Exception as exc:
@@ -253,6 +273,7 @@ class InferenceEngine:
                 quarantined_rows.append(row)
                 self._quarantined += 1
                 self._quarantine_log.append((row, repr(exc)))
+                obs.inc("engine.quarantined")
                 scatter("em_prob", index,
                         np.full(1, self.config.quarantine_score, dtype=np.float32))
                 scatter("labels", index, batch.labels)
@@ -263,19 +284,24 @@ class InferenceEngine:
             self._score_rows(index[:mid], encoded, scatter, quarantined_rows)
             self._score_rows(index[mid:], encoded, scatter, quarantined_rows)
             return
-        logits = output.em_logits.data
-        probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
-        scatter("em_prob", index, probs)
-        if output.id1_logits is not None:
-            scatter("id1_pred", index, output.id1_logits.data.argmax(axis=-1))
-        if output.id2_logits is not None:
-            scatter("id2_pred", index, output.id2_logits.data.argmax(axis=-1))
-        scatter("labels", index, batch.labels)
-        scatter("id1", index, batch.id1)
-        scatter("id2", index, batch.id2)
+        with obs.span("engine.scatter", rows=len(index)):
+            logits = output.em_logits.data
+            probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+            scatter("em_prob", index, probs)
+            if output.id1_logits is not None:
+                scatter("id1_pred", index, output.id1_logits.data.argmax(axis=-1))
+            if output.id2_logits is not None:
+                scatter("id2_pred", index, output.id2_logits.data.argmax(axis=-1))
+            scatter("labels", index, batch.labels)
+            scatter("id1", index, batch.id1)
+            scatter("id2", index, batch.id2)
         self._batches += 1
         self._token_cells += int(batch.input_ids.size)
         self._real_tokens += int(batch.attention_mask.sum())
+        if obs.enabled():
+            obs.observe("engine.batch_size", len(index), bounds=obs.SIZE_BUCKETS)
+            obs.observe("engine.seq_len", batch.input_ids.shape[1],
+                        bounds=obs.LEN_BUCKETS)
 
     def score_pairs(self, pairs: Sequence[EntityPair],
                     dataset: EMDataset | None = None) -> dict[str, np.ndarray]:

@@ -54,6 +54,7 @@ from repro.models import (
 )
 from repro.text import SubwordHasher, WordPieceTokenizer, train_wordpiece
 from repro.text.corpus import build_corpus
+from repro import obs
 
 _FASTTEXT_DIM = 48
 
@@ -187,26 +188,29 @@ def run_experiment(spec: RunSpec, use_cache: bool = True,
 
     model_spec = MODEL_SPECS[spec.model]
     _record_progress(spec, "load_data", checkpoint)
-    dataset = load_dataset(spec.dataset, size=spec.size, seed=spec.data_seed)
-    if spec.subsample_positives is not None:
-        rng = np.random.default_rng(spec.seed + 7)
-        dataset = EMDataset(
-            name=dataset.name,
-            train=subsample_positives(dataset.train, spec.subsample_positives, rng),
-            valid=dataset.valid,
-            test=dataset.test,
-            id_classes=dataset.id_classes,
-            metadata=dict(dataset.metadata),
-        )
+    with obs.span("runner.load_data", dataset=spec.dataset, size=spec.size):
+        dataset = load_dataset(spec.dataset, size=spec.size, seed=spec.data_seed)
+        if spec.subsample_positives is not None:
+            rng = np.random.default_rng(spec.seed + 7)
+            dataset = EMDataset(
+                name=dataset.name,
+                train=subsample_positives(dataset.train, spec.subsample_positives, rng),
+                valid=dataset.valid,
+                test=dataset.test,
+                id_classes=dataset.id_classes,
+                metadata=dict(dataset.metadata),
+            )
 
     _record_progress(spec, "encode", checkpoint)
-    tokenizer = _tokenizer_for(spec.dataset, spec.size, spec.data_seed,
-                               spec.vocab_size)
-    pair_encoder = PairEncoder(tokenizer, max_length=spec.max_length,
-                               style=model_spec.style)
-    train = pair_encoder.encode_many(dataset.train, dataset)
-    valid = pair_encoder.encode_many(dataset.valid, dataset)
-    test = pair_encoder.encode_many(dataset.test, dataset)
+    with obs.span("runner.encode") as encode_span:
+        tokenizer = _tokenizer_for(spec.dataset, spec.size, spec.data_seed,
+                                   spec.vocab_size)
+        pair_encoder = PairEncoder(tokenizer, max_length=spec.max_length,
+                                   style=model_spec.style)
+        train = pair_encoder.encode_many(dataset.train, dataset)
+        valid = pair_encoder.encode_many(dataset.valid, dataset)
+        test = pair_encoder.encode_many(dataset.test, dataset)
+        encode_span.set("pairs", len(train) + len(valid) + len(test))
 
     # The fastText variant is a shallow bag-of-subwords model (no deep
     # encoder to destabilize) and needs a hotter rate, mirroring
@@ -230,17 +234,19 @@ def run_experiment(spec: RunSpec, use_cache: bool = True,
     start = time.perf_counter()
     while True:
         _record_progress(spec, "build_model", checkpoint, attempt=attempts)
-        if model_spec.encoder is not None:
-            encoder, hidden = _build_encoder(model_spec.encoder, spec,
-                                             tokenizer, dataset)
-        else:
-            encoder, hidden = None, 0
-        model = _build_model(spec, encoder, hidden, dataset, tokenizer)
+        with obs.span("runner.build_model", model=spec.model, attempt=attempts):
+            if model_spec.encoder is not None:
+                encoder, hidden = _build_encoder(model_spec.encoder, spec,
+                                                 tokenizer, dataset)
+            else:
+                encoder, hidden = None, 0
+            model = _build_model(spec, encoder, hidden, dataset, tokenizer)
         try:
             _record_progress(spec, "train", checkpoint, attempt=attempts)
-            fault_point("runner.train")
-            fit = trainer.fit(model, train, valid, checkpoint_dir=ckpt_dir,
-                              resume=resume or attempts > 0)
+            with obs.span("runner.train", attempt=attempts):
+                fault_point("runner.train")
+                fit = trainer.fit(model, train, valid, checkpoint_dir=ckpt_dir,
+                                  resume=resume or attempts > 0)
             break
         except (FaultError, OSError) as exc:
             transient = getattr(exc, "transient", True)
@@ -249,12 +255,14 @@ def run_experiment(spec: RunSpec, use_cache: bool = True,
                                  attempt=attempts, error=repr(exc))
                 raise
             attempts += 1
+            obs.inc("runner.retries")
     train_seconds = time.perf_counter() - start
 
     _record_progress(spec, "evaluate", checkpoint, attempt=attempts)
-    engine = InferenceEngine(model, config=EngineConfig(batch_size=spec.batch_size))
-    preds = engine.score_encoded(test)
-    engine_stats = engine.stats
+    with obs.span("runner.evaluate", pairs=len(test)):
+        engine = InferenceEngine(model, config=EngineConfig(batch_size=spec.batch_size))
+        preds = engine.score_encoded(test)
+        engine_stats = engine.stats
     precision, recall, f1 = precision_recall_f1(preds["labels"], preds["em_pred"])
     metrics = {
         "em_f1": f1,

@@ -28,6 +28,7 @@ import hashlib
 import json
 import os
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -35,6 +36,7 @@ import numpy as np
 
 from repro.ft.faults import fault_point
 from repro.nn.serialization import CheckpointError, load_arrays, save_arrays
+from repro import obs
 
 _FORMAT = 1
 _MANIFEST_RE = re.compile(r"^ckpt-(\d{5})\.json$")
@@ -204,33 +206,40 @@ class Checkpointer:
     # -- save -----------------------------------------------------------
     def save(self, state: TrainingState) -> Path:
         """Atomically persist one checkpoint; prunes to ``keep_last``."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        npz = self.npz_path(state.epoch)
-        fault_point("checkpoint.write")
-        save_arrays(npz, _flatten_arrays(state))
-        fault_point("checkpoint.manifest")
-        optimizer_scalars = {k: v for k, v in state.optimizer.items()
-                             if k not in _ARRAY_SLOTS}
-        manifest = {
-            "format": _FORMAT,
-            "epoch": state.epoch,
-            "sha256": _sha256(npz),
-            "optimizer": optimizer_scalars,
-            "schedule": state.schedule,
-            "trainer_rng": state.trainer_rng,
-            "module_rngs": state.module_rngs,
-            "stopper": state.stopper,
-            "result": state.result,
-            "lr_scale": state.lr_scale,
-        }
-        tmp = self.manifest_path(state.epoch).with_suffix(".json.tmp")
-        try:
-            tmp.write_text(json.dumps(manifest), encoding="utf-8")
-            os.replace(tmp, self.manifest_path(state.epoch))
-        finally:
-            tmp.unlink(missing_ok=True)
-        self._prune()
-        return self.manifest_path(state.epoch)
+        with obs.span("checkpoint.save", epoch=state.epoch) as save_span:
+            start = time.perf_counter()
+            self.directory.mkdir(parents=True, exist_ok=True)
+            npz = self.npz_path(state.epoch)
+            fault_point("checkpoint.write")
+            save_arrays(npz, _flatten_arrays(state))
+            fault_point("checkpoint.manifest")
+            optimizer_scalars = {k: v for k, v in state.optimizer.items()
+                                 if k not in _ARRAY_SLOTS}
+            manifest = {
+                "format": _FORMAT,
+                "epoch": state.epoch,
+                "sha256": _sha256(npz),
+                "optimizer": optimizer_scalars,
+                "schedule": state.schedule,
+                "trainer_rng": state.trainer_rng,
+                "module_rngs": state.module_rngs,
+                "stopper": state.stopper,
+                "result": state.result,
+                "lr_scale": state.lr_scale,
+            }
+            tmp = self.manifest_path(state.epoch).with_suffix(".json.tmp")
+            try:
+                tmp.write_text(json.dumps(manifest), encoding="utf-8")
+                os.replace(tmp, self.manifest_path(state.epoch))
+            finally:
+                tmp.unlink(missing_ok=True)
+            self._prune()
+            if obs.enabled():
+                save_span.set("bytes", npz.stat().st_size)
+                obs.observe("checkpoint.save_seconds",
+                            time.perf_counter() - start, bounds=obs.TIME_BUCKETS)
+                obs.inc("checkpoint.saves")
+            return self.manifest_path(state.epoch)
 
     def _prune(self) -> None:
         for epoch in self.saved_epochs()[:-self.keep_last]:
@@ -272,9 +281,20 @@ class Checkpointer:
     def load_latest(self) -> TrainingState | None:
         """Newest valid checkpoint, skipping corrupt/truncated ones."""
         self.corrupt_skipped = []
-        for epoch in reversed(self.saved_epochs()):
-            try:
-                return self.load_epoch(epoch)
-            except CheckpointError:
-                self.corrupt_skipped.append(epoch)
+        with obs.span("checkpoint.load") as load_span:
+            start = time.perf_counter()
+            for epoch in reversed(self.saved_epochs()):
+                try:
+                    state = self.load_epoch(epoch)
+                except CheckpointError:
+                    self.corrupt_skipped.append(epoch)
+                    obs.inc("checkpoint.fallbacks")
+                    continue
+                if obs.enabled():
+                    load_span.set("epoch", epoch)
+                    load_span.set("skipped", len(self.corrupt_skipped))
+                    obs.observe("checkpoint.load_seconds",
+                                time.perf_counter() - start,
+                                bounds=obs.TIME_BUCKETS)
+                return state
         return None

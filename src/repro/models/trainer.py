@@ -38,6 +38,7 @@ from repro.ft.checkpoint import (
 )
 from repro.ft.faults import fault_point
 from repro.models.base import EMModel
+from repro import obs
 from repro.nn.optim import Adam, clip_grad_norm_
 from repro.nn.schedules import LinearWarmupDecay
 from repro.nn.serialization import CheckpointError
@@ -213,83 +214,97 @@ class Trainer:
                 lr_scale = state.lr_scale
 
         epoch = start_epoch
-        while epoch < cfg.epochs and not result.stopped:
-            fault_point("trainer.epoch_start")
-            model.train()
-            epoch_losses = []
-            skipped_this_epoch = 0
-            rolled_back = False
-            rollback_tried = False
-            for batch in iter_batches(train, cfg.batch_size, rng=rng):
-                output = model(batch)
-                loss = model.loss(output, batch)
-                loss = fault_point("trainer.loss", loss)
-                if not np.isfinite(float(loss.data)):
-                    # Poison batch: skip the update, keep the LR
-                    # trajectory aligned with the step count.
-                    model.zero_grad()
-                    schedule.step()
-                    result.nonfinite_skipped += 1
-                    skipped_this_epoch += 1
-                    if (skipped_this_epoch > cfg.max_nonfinite_batches
-                            and result.lr_halvings < cfg.max_lr_halvings
-                            and checkpointer is not None
-                            and not rollback_tried):
-                        rollback_tried = True
-                        restored = checkpointer.load_latest()
-                        if restored is not None:
-                            rolled_back = True
-                            break
-                    continue
-                model.zero_grad()
-                loss.backward()
-                clip_grad_norm_(model.parameters(), cfg.max_grad_norm)
-                optimizer.step()
-                schedule.step()
-                epoch_losses.append(float(loss.data))
+        fit_span = obs.span("trainer.fit", epochs=cfg.epochs,
+                            start_epoch=start_epoch, batches=steps_per_epoch)
+        with fit_span:
+            while epoch < cfg.epochs and not result.stopped:
+                fault_point("trainer.epoch_start")
+                with obs.span("trainer.epoch", epoch=epoch):
+                    model.train()
+                    epoch_losses = []
+                    skipped_this_epoch = 0
+                    rolled_back = False
+                    rollback_tried = False
+                    for batch in iter_batches(train, cfg.batch_size, rng=rng):
+                        with obs.span("trainer.batch", size=batch.size) as bspan:
+                            output = model(batch)
+                            loss = model.loss(output, batch)
+                            loss = fault_point("trainer.loss", loss)
+                            if not np.isfinite(float(loss.data)):
+                                # Poison batch: skip the update, keep the LR
+                                # trajectory aligned with the step count.
+                                model.zero_grad()
+                                schedule.step()
+                                result.nonfinite_skipped += 1
+                                skipped_this_epoch += 1
+                                obs.inc("trainer.nonfinite_skipped")
+                                bspan.set("skipped", "nonfinite")
+                                if (skipped_this_epoch > cfg.max_nonfinite_batches
+                                        and result.lr_halvings < cfg.max_lr_halvings
+                                        and checkpointer is not None
+                                        and not rollback_tried):
+                                    rollback_tried = True
+                                    restored = checkpointer.load_latest()
+                                    if restored is not None:
+                                        rolled_back = True
+                                        break
+                                continue
+                            model.zero_grad()
+                            loss.backward()
+                            clip_grad_norm_(model.parameters(), cfg.max_grad_norm)
+                            optimizer.step()
+                            lr = schedule.step()
+                            epoch_losses.append(float(loss.data))
+                        if obs.enabled():
+                            obs.gauge("trainer.loss", float(loss.data))
+                            obs.gauge("trainer.lr", lr)
 
-            if rolled_back:
-                # The epoch diverged: rewind to the last good boundary
-                # and retry it at half the peak learning rate.  Counters
-                # accumulated since that boundary survive the rewind.
-                skipped_total = result.nonfinite_skipped
-                halvings = result.lr_halvings
-                failures = result.checkpoint_failures
-                best_state = self._restore(restored, model, optimizer,
-                                           schedule, stopper, result, rng)
-                result.nonfinite_skipped = skipped_total
-                result.lr_halvings = halvings + 1
-                result.checkpoint_failures = failures
-                lr_scale = restored.lr_scale * 0.5
-                schedule.peak_lr = cfg.learning_rate * lr_scale
-                epoch = restored.epoch
-                continue
+                    if rolled_back:
+                        # The epoch diverged: rewind to the last good boundary
+                        # and retry it at half the peak learning rate.  Counters
+                        # accumulated since that boundary survive the rewind.
+                        skipped_total = result.nonfinite_skipped
+                        halvings = result.lr_halvings
+                        failures = result.checkpoint_failures
+                        best_state = self._restore(restored, model, optimizer,
+                                                   schedule, stopper, result, rng)
+                        result.nonfinite_skipped = skipped_total
+                        result.lr_halvings = halvings + 1
+                        result.checkpoint_failures = failures
+                        obs.inc("trainer.rollbacks")
+                        lr_scale = restored.lr_scale * 0.5
+                        schedule.peak_lr = cfg.learning_rate * lr_scale
+                        epoch = restored.epoch
+                        continue
 
-            result.train_losses.append(
-                float(np.mean(epoch_losses)) if epoch_losses else float("nan"))
+                    result.train_losses.append(
+                        float(np.mean(epoch_losses)) if epoch_losses else float("nan"))
 
-            valid_f1 = self.evaluate_f1(model, valid) if valid else 0.0
-            result.valid_f1s.append(valid_f1)
-            result.epochs_run = epoch + 1
-            if valid:
-                if valid_f1 > stopper.best:
-                    best_state = model.state_dict()
-                result.stopped = stopper.update(valid_f1, epoch)
-            else:
-                # No validation set: the final weights win.
-                best_state = model.state_dict()
+                    with obs.span("trainer.validate", epoch=epoch):
+                        valid_f1 = self.evaluate_f1(model, valid) if valid else 0.0
+                    obs.gauge("trainer.valid_f1", valid_f1)
+                    result.valid_f1s.append(valid_f1)
+                    result.epochs_run = epoch + 1
+                    if valid:
+                        if valid_f1 > stopper.best:
+                            best_state = model.state_dict()
+                        result.stopped = stopper.update(valid_f1, epoch)
+                    else:
+                        # No validation set: the final weights win.
+                        best_state = model.state_dict()
 
-            if checkpointer is not None:
-                try:
-                    checkpointer.save(self._capture(
-                        epoch + 1, model, best_state, optimizer, schedule,
-                        stopper, result, rng, lr_scale))
-                except (OSError, CheckpointError):
-                    # A failed save (e.g. ENOSPC) must not kill training;
-                    # the previous checkpoint remains the resume point.
-                    result.checkpoint_failures += 1
-            fault_point("trainer.epoch_end")
-            epoch += 1
+                    if checkpointer is not None:
+                        try:
+                            checkpointer.save(self._capture(
+                                epoch + 1, model, best_state, optimizer, schedule,
+                                stopper, result, rng, lr_scale))
+                        except (OSError, CheckpointError):
+                            # A failed save (e.g. ENOSPC) must not kill training;
+                            # the previous checkpoint remains the resume point.
+                            result.checkpoint_failures += 1
+                            obs.inc("trainer.checkpoint_failures")
+                    fault_point("trainer.epoch_end")
+                epoch += 1
 
         model.load_state_dict(best_state)
         model.eval()

@@ -1,0 +1,128 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Counters accumulate (`inc`), gauges hold the last observed value
+(`gauge`), histograms count observations into fixed bucket boundaries
+(`observe`) while tracking count/sum/min/max.  All three are registered
+lazily by name on first use, so instrumentation sites never declare
+anything up front.
+
+Like :mod:`repro.obs.trace`, every entry point checks the shared
+enabled flag first and returns immediately when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Fixed boundary sets for the repo's common histogram shapes.  A value
+# lands in the first bucket whose upper bound is >= value; anything
+# beyond the last bound lands in the implicit +inf overflow bucket.
+SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)            # batch sizes
+LEN_BUCKETS = (8, 16, 32, 64, 96, 128, 192, 256, 384, 512)        # sequence lengths
+TIME_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+                10.0, 60.0)                                       # latencies (s)
+DEFAULT_BUCKETS = (0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
+
+
+class Histogram:
+    """Fixed-boundary histogram with count/sum/min/max side stats."""
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: tuple = DEFAULT_BUCKETS):
+        if list(bounds) != sorted(bounds) or len(bounds) < 1:
+            raise ValueError(f"bucket bounds must be sorted and non-empty: {bounds}")
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 = +inf overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        slot = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                slot = i
+                break
+        self.counts[slot] += 1
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds), "counts": list(self.counts),
+            "count": self.count, "sum": self.total, "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed counters, gauges, and histograms."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self):
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def inc(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float, bounds: tuple | None = None) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(bounds or DEFAULT_BUCKETS)
+        hist.observe(value)
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every registered metric."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: h.as_dict() for k, h in self.histograms.items()},
+        }
+
+    def clear(self) -> None:
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+
+
+REGISTRY = MetricsRegistry()
+
+
+def render_metrics(snapshot: dict) -> str:
+    """Human-readable rendering of a :meth:`MetricsRegistry.snapshot`."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<40} {counters[name]:g}")
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<40} {gauges[name]:g}")
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"  {name:<40} count={h['count']} mean={h['mean']:.4g} "
+                f"min={h['min']:.4g} max={h['max']:.4g}")
+    return "\n".join(lines) if lines else "(no metrics recorded)"

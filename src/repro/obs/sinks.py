@@ -1,0 +1,141 @@
+"""Trace sinks and renderers.
+
+Three consumers of finished spans:
+
+- :class:`JsonlSink` streams each span (and the final metrics snapshot)
+  as one JSON object per line — the durable format read back by the
+  ``repro trace`` CLI subcommand;
+- :func:`tree_summary` renders the span buffer as a human-readable
+  tree, collapsing repeated siblings (per-batch spans) into one line
+  with count and aggregate timings;
+- :func:`aggregate` reduces the buffer to a path-keyed dict for tests
+  and programmatic assertions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Sequence
+
+from repro.obs.trace import SpanRecord
+
+
+class JsonlSink:
+    """Stream span records (JSON lines) to a file as they close."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle: IO[str] | None = None
+
+    def emit(self, payload: dict) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w", encoding="utf-8")
+        self._handle.write(json.dumps(payload) + "\n")
+
+    def close(self, metrics_snapshot: dict | None = None) -> None:
+        """Append the metrics snapshot (if any) and close the file."""
+        if metrics_snapshot is not None:
+            self.emit({"kind": "metrics", **metrics_snapshot})
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_jsonl(path: str | Path) -> tuple[list[SpanRecord], dict | None]:
+    """Load a :class:`JsonlSink` file back into records + metrics.
+
+    Malformed lines raise ``ValueError`` with the offending line number
+    so a truncated trace is diagnosable rather than silently partial.
+    """
+    records: list[SpanRecord] = []
+    metrics: dict | None = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            kind = payload.get("kind")
+            if kind == "span":
+                records.append(SpanRecord.from_dict(payload))
+            elif kind == "metrics":
+                metrics = {k: v for k, v in payload.items() if k != "kind"}
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown record kind {kind!r}")
+    return records, metrics
+
+
+def aggregate(records: Sequence[SpanRecord]) -> dict[str, dict]:
+    """Reduce spans to ``{path: {count, wall, cpu, errors}}``.
+
+    The key is the slash-joined name path from the root (e.g.
+    ``trainer.fit/trainer.epoch/trainer.batch``), so identically named
+    spans under different parents stay distinct.
+    """
+    by_index = {r.index: r for r in records}
+
+    def path_of(record: SpanRecord) -> str:
+        parts = [record.name]
+        parent = record.parent
+        while parent != -1 and parent in by_index:
+            record = by_index[parent]
+            parts.append(record.name)
+            parent = record.parent
+        return "/".join(reversed(parts))
+
+    out: dict[str, dict] = {}
+    for record in records:
+        entry = out.setdefault(path_of(record), {
+            "count": 0, "wall": 0.0, "cpu": 0.0, "errors": 0})
+        entry["count"] += 1
+        entry["wall"] += record.wall
+        entry["cpu"] += record.cpu
+        entry["errors"] += 1 if record.status == "error" else 0
+    return out
+
+
+def tree_summary(records: Sequence[SpanRecord]) -> str:
+    """Render the span buffer as an indented tree.
+
+    Siblings sharing one name path are collapsed to a single line with
+    their count and summed wall/CPU time; attribute values are shown
+    for singletons only.  Lines appear in first-open order, so the tree
+    reads top to bottom as the program ran.
+    """
+    if not records:
+        return "(no spans recorded)"
+    by_index = {r.index: r for r in records}
+    paths: dict[int, str] = {}
+    order: list[str] = []
+    stats = aggregate(records)
+    first: dict[str, SpanRecord] = {}
+    for record in sorted(records, key=lambda r: r.index):
+        parent_path = paths.get(record.parent, "")
+        path = f"{parent_path}/{record.name}" if parent_path else record.name
+        paths[record.index] = path
+        if path not in first:
+            first[path] = record
+            order.append(path)
+
+    lines = []
+    for path in order:
+        record = first[path]
+        entry = stats[path]
+        indent = "  " * record.depth
+        label = f"{indent}{record.name}"
+        timing = f"wall={entry['wall'] * 1e3:9.2f}ms cpu={entry['cpu'] * 1e3:9.2f}ms"
+        if entry["count"] > 1:
+            timing = f"x{entry['count']:<5d} {timing}"
+        suffix = ""
+        if entry["errors"]:
+            suffix += f"  errors={entry['errors']}"
+        if entry["count"] == 1 and record.attrs:
+            attrs = " ".join(f"{k}={v}" for k, v in record.attrs.items())
+            suffix += f"  [{attrs}]"
+        lines.append(f"{label:<42} {timing}{suffix}")
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Hierarchical spans: the tracing half of the telemetry subsystem.
+
+A span is a named, timed region of code entered with the :func:`span`
+context manager.  Spans nest — each one records its parent, its depth,
+wall and CPU time, and arbitrary key/value attributes — and every span
+that closes is appended to the module-level trace buffer and emitted to
+any attached sinks.
+
+The whole module is built around a *disabled fast path*: when tracing
+is off (the default), :func:`span` returns a shared no-op context
+manager and does nothing else, so instrumented hot paths pay one
+attribute check per call site.  Enable with ``obs.enable()`` or
+``REPRO_TRACE=1`` in the environment (see :mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, as appended to the trace buffer."""
+
+    index: int          # open order, 0-based — sorting by it rebuilds the tree
+    parent: int         # index of the enclosing span, -1 for roots
+    depth: int          # nesting level, 0 for roots
+    name: str
+    start: float        # seconds since enable()
+    wall: float         # wall-clock duration in seconds
+    cpu: float          # process CPU time consumed in seconds
+    status: str         # "ok" or "error" (the body raised)
+    attrs: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": "span", "index": self.index, "parent": self.parent,
+            "depth": self.depth, "name": self.name, "start": self.start,
+            "wall": self.wall, "cpu": self.cpu, "status": self.status,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanRecord":
+        return cls(
+            index=int(payload["index"]), parent=int(payload["parent"]),
+            depth=int(payload["depth"]), name=str(payload["name"]),
+            start=float(payload["start"]), wall=float(payload["wall"]),
+            cpu=float(payload["cpu"]), status=str(payload["status"]),
+            attrs=dict(payload.get("attrs", {})),
+        )
+
+
+class TraceState:
+    """Module-singleton holding the enabled flag, buffer, and open stack."""
+
+    __slots__ = ("enabled", "records", "stack", "next_index", "origin", "sinks")
+
+    def __init__(self):
+        self.enabled = False
+        self.records: list[SpanRecord] = []
+        self.stack: list[int] = []          # indices of currently open spans
+        self.next_index = 0
+        self.origin = 0.0                   # perf_counter at enable()
+        self.sinks: list = []
+
+    def clear(self) -> None:
+        self.records = []
+        self.stack = []
+        self.next_index = 0
+        self.origin = time.perf_counter()
+
+
+STATE = TraceState()
+
+
+class _NoopSpan:
+    """The shared disabled-mode span: stateless, reentrant, does nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set(self, key, value) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """A live span; use via ``with span(name, **attrs) as sp``."""
+
+    __slots__ = ("name", "attrs", "_index", "_parent", "_depth", "_t0", "_cpu0")
+
+    def __init__(self, name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, key: str, value) -> None:
+        """Attach one attribute to the span while it is open."""
+        self.attrs[key] = value
+
+    def __enter__(self):
+        st = STATE
+        self._index = st.next_index
+        st.next_index += 1
+        self._parent = st.stack[-1] if st.stack else -1
+        self._depth = len(st.stack)
+        st.stack.append(self._index)
+        self._cpu0 = time.process_time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        wall = time.perf_counter() - self._t0
+        cpu = time.process_time() - self._cpu0
+        st = STATE
+        if st.stack and st.stack[-1] == self._index:
+            st.stack.pop()
+        if st.enabled:  # disabled mid-span: drop the record, keep the stack sane
+            record = SpanRecord(
+                index=self._index, parent=self._parent, depth=self._depth,
+                name=self.name, start=self._t0 - st.origin, wall=wall,
+                cpu=cpu, status="error" if exc_type is not None else "ok",
+                attrs=self.attrs,
+            )
+            st.records.append(record)
+            for sink in st.sinks:
+                sink.emit(record.as_dict())
+        return False
+
+
+def span(name: str, **attrs):
+    """Open a nested span; no-op (and allocation-light) when disabled."""
+    if not STATE.enabled:
+        return NOOP_SPAN
+    return Span(name, attrs)

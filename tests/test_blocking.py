@@ -128,6 +128,102 @@ class TestMinHashBlocker:
         assert sig.shape == (blocker.num_hashes,)
 
 
+class TestMinHashExactArithmetic:
+    """The int64-overflow fix: signatures must equal exact universal hashing.
+
+    The pre-fix implementation computed ``(a * x + b) mod p`` in wrapping
+    int64 arithmetic, so any product past 2^63 silently corrupted the
+    minima.  These tests pin the mod-safe path against unbounded
+    Python-int arithmetic.
+    """
+
+    @staticmethod
+    def exact_signature(blocker, tokens):
+        from repro.blocking.minhash import _MERSENNE
+        from repro.text.subword import fnv1a
+
+        values = [fnv1a(t) for t in tokens]
+        return [
+            min((int(a) * v + int(b)) % _MERSENNE for v in values)
+            for a, b in zip(blocker._a, blocker._b)
+        ]
+
+    @given(st.sets(st.text(alphabet="abcdefgh0123", min_size=1, max_size=6),
+                   min_size=1, max_size=10),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_signature_matches_exact_minima(self, tokens, seed):
+        blocker = MinHashBlocker(num_hashes=8, bands=4, seed=seed)
+        assert blocker.signature(tokens).tolist() == \
+            self.exact_signature(blocker, tokens)
+
+    def test_pinned_regression_signature(self):
+        # Frozen output of seed-7 exact arithmetic; a reintroduced
+        # overflow (or a changed a/b stream) breaks these values.
+        blocker = MinHashBlocker(num_hashes=8, bands=4, seed=7)
+        sig = blocker.signature({"sandisk", "ultra", "cf", "card"})
+        assert sig.tolist() == [
+            1287661493878756680, 44993262091473166, 346678567773571877,
+            87802411236806980, 324877583824537944, 555785601297972605,
+            587489269562786492, 230239323508036448,
+        ]
+
+    def test_mulmod_matches_python_ints(self):
+        from repro.blocking.minhash import _MERSENNE, _mulmod61
+
+        rng = np.random.default_rng(3)
+        # Worst-case operands right below the prime, where int64 wraps.
+        a = rng.integers(_MERSENNE - 10**6, _MERSENNE, size=200,
+                         dtype=np.int64).astype(np.uint64)
+        x = rng.integers(_MERSENNE - 10**6, _MERSENNE, size=200,
+                         dtype=np.int64).astype(np.uint64)
+        got = _mulmod61(a, x)
+        expected = [(int(ai) * int(xi)) % _MERSENNE for ai, xi in zip(a, x)]
+        assert got.tolist() == expected
+
+    def test_signatures_below_prime(self):
+        from repro.blocking.minhash import _MERSENNE
+
+        blocker = MinHashBlocker(num_hashes=32, bands=8, seed=5)
+        sig = blocker.signature({"a", "bb", "ccc", "dddd"})
+        assert sig.dtype == np.uint64
+        assert int(sig.max()) < _MERSENNE
+
+    def test_identical_sets_estimate_exactly_one(self):
+        blocker = MinHashBlocker(num_hashes=128, bands=16, seed=0)
+        tokens = {"samsung", "850", "evo", "ssd", "1tb"}
+        sig = blocker.signature(tokens)
+        assert blocker.estimated_jaccard(sig, sig.copy()) == 1.0
+
+    def test_disjoint_sets_estimate_near_zero(self):
+        blocker = MinHashBlocker(num_hashes=256, bands=16, seed=0)
+        a = blocker.signature({f"left{i}" for i in range(20)})
+        b = blocker.signature({f"right{i}" for i in range(20)})
+        assert blocker.estimated_jaccard(a, b) < 0.05
+
+
+class TestEmptyCollections:
+    """All blockers must tolerate empty record collections."""
+
+    @pytest.mark.parametrize("blocker", [
+        TokenBlocker(),
+        MinHashBlocker(num_hashes=16, bands=4),
+        SortedNeighborhoodBlocker(window=2),
+    ], ids=lambda b: type(b).__name__)
+    def test_empty_sides(self, blocker):
+        for left, right in ([], []), (LEFT, []), ([], RIGHT):
+            result = blocker.block(left, right)
+            assert result.candidates == []
+            assert result.comparison_count == 0
+
+    def test_empty_signatures_collide(self):
+        # Two token-less records share the sentinel signature: their
+        # Jaccard estimate is 1.0 by convention (0/0 sets).
+        blocker = MinHashBlocker()
+        a, b = blocker.signature(set()), blocker.signature(set())
+        assert blocker.estimated_jaccard(a, b) == 1.0
+
+
 class TestSortedNeighborhood:
     def test_adjacent_keys_paired(self):
         left = [rec("aaa product"), rec("zzz product")]

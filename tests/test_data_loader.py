@@ -82,6 +82,61 @@ class TestPairEncoder:
             PairEncoder(tokenizer, max_length=4)
 
 
+class TestTruncateClosedForm:
+    """``_truncate`` replaced a one-token-at-a-time loop with arithmetic.
+
+    The closed form must reproduce the reference ``longest_first`` policy
+    exactly (trim the longer list by one, ties trim tokens1) so that the
+    PR2 golden encoding digests stay byte-identical.
+    """
+
+    @staticmethod
+    def reference_truncate(tokens1, tokens2, max_length):
+        budget = max_length - 3
+        tokens1, tokens2 = list(tokens1), list(tokens2)
+        while len(tokens1) + len(tokens2) > budget:
+            if len(tokens1) >= len(tokens2):
+                tokens1.pop()
+            else:
+                tokens2.pop()
+        return tokens1, tokens2
+
+    @pytest.mark.parametrize("n1,n2,max_length", [
+        (0, 0, 8), (0, 100, 8), (100, 0, 8), (1, 1, 8),
+        (5, 5, 13), (5, 6, 13), (6, 5, 13),      # balanced, both trimmed
+        (2, 50, 13), (50, 2, 13),                # one side under half
+        (10, 10, 16), (10, 11, 16), (11, 10, 16),  # even budget
+        (7, 6, 16), (300, 299, 128),
+    ])
+    def test_matches_reference_loop(self, tokenizer, n1, n2, max_length):
+        enc = PairEncoder(tokenizer, max_length=max_length)
+        tokens1 = [f"a{i}" for i in range(n1)]
+        tokens2 = [f"b{i}" for i in range(n2)]
+        got = enc._truncate(tokens1, tokens2)
+        assert (list(got[0]), list(got[1])) == \
+            self.reference_truncate(tokens1, tokens2, max_length)
+
+    def test_exhaustive_small_grid(self, tokenizer):
+        for max_length in (8, 9, 12, 13, 16):
+            enc = PairEncoder(tokenizer, max_length=max_length)
+            for n1 in range(0, 25):
+                for n2 in range(0, 25):
+                    tokens1 = [f"a{i}" for i in range(n1)]
+                    tokens2 = [f"b{i}" for i in range(n2)]
+                    got = enc._truncate(tokens1, tokens2)
+                    want = self.reference_truncate(tokens1, tokens2, max_length)
+                    assert (list(got[0]), list(got[1])) == want, \
+                        (n1, n2, max_length)
+
+    def test_prefixes_preserved(self, tokenizer):
+        enc = PairEncoder(tokenizer, max_length=12)
+        tokens1 = [f"a{i}" for i in range(20)]
+        tokens2 = [f"b{i}" for i in range(20)]
+        t1, t2 = enc._truncate(tokens1, tokens2)
+        assert list(t1) == tokens1[:len(t1)]
+        assert list(t2) == tokens2[:len(t2)]
+
+
 class TestCollate:
     def test_padding_shapes(self, tokenizer):
         enc = PairEncoder(tokenizer, max_length=64)

@@ -1,0 +1,299 @@
+"""Tests for the telemetry subsystem (repro.obs) and its integrations."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts and ends with telemetry off and empty."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestSpans:
+    def test_nesting_depth_and_parent(self):
+        obs.enable()
+        with obs.span("a"):
+            with obs.span("b"):
+                with obs.span("c"):
+                    pass
+            with obs.span("d"):
+                pass
+        recs = {r.name: r for r in obs.records()}
+        assert recs["a"].depth == 0 and recs["a"].parent == -1
+        assert recs["b"].depth == 1 and recs["b"].parent == recs["a"].index
+        assert recs["c"].depth == 2 and recs["c"].parent == recs["b"].index
+        assert recs["d"].depth == 1 and recs["d"].parent == recs["a"].index
+
+    def test_children_close_before_parent(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        names = [r.name for r in obs.records()]
+        assert names == ["inner", "outer"]
+
+    def test_span_closes_on_exception_and_reraises(self):
+        obs.enable()
+        with pytest.raises(RuntimeError, match="boom"):
+            with obs.span("root"):
+                with obs.span("failing"):
+                    raise RuntimeError("boom")
+        recs = {r.name: r for r in obs.records()}
+        assert recs["failing"].status == "error"
+        assert recs["root"].status == "error"
+        # The open-span stack unwound completely.
+        assert obs.STATE.stack == []
+
+    def test_attributes_and_set(self):
+        obs.enable()
+        with obs.span("s", a=1) as sp:
+            sp.set("b", "two")
+        (rec,) = obs.records()
+        assert rec.attrs == {"a": 1, "b": "two"}
+
+    def test_wall_and_cpu_recorded(self):
+        obs.enable()
+        with obs.span("sleepy"):
+            time.sleep(0.01)
+        (rec,) = obs.records()
+        assert rec.wall >= 0.009
+        assert rec.cpu >= 0.0
+
+    def test_disabled_mode_records_nothing(self):
+        assert not obs.enabled()
+        with obs.span("ghost", x=1) as sp:
+            sp.set("y", 2)
+        obs.inc("ghost.counter")
+        obs.gauge("ghost.gauge", 1.0)
+        obs.observe("ghost.hist", 1.0)
+        assert obs.records() == []
+        snap = obs.snapshot()
+        assert snap["counters"] == {} and snap["gauges"] == {}
+        assert snap["histograms"] == {} and snap["spans"] == {}
+
+    def test_disable_mid_span_drops_record_keeps_stack_sane(self):
+        obs.enable()
+        with obs.span("open"):
+            obs.disable()
+        assert obs.records() == []
+        assert obs.STATE.stack == []
+
+    def test_disabled_overhead_is_negligible(self):
+        """Benchmark guard: disabled instrumentation is tens of ns per site."""
+        assert not obs.enabled()
+        n = 20000
+        start = time.perf_counter()
+        for _ in range(n):
+            with obs.span("hot"):
+                pass
+            obs.inc("hot.counter")
+        per_call = (time.perf_counter() - start) / n
+        # Generous bound (~50x observed) to stay robust on loaded CI boxes.
+        assert per_call < 50e-6, f"disabled obs call cost {per_call * 1e9:.0f}ns"
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        obs.enable()
+        obs.inc("pairs")
+        obs.inc("pairs", 41)
+        assert obs.snapshot()["counters"]["pairs"] == 42
+
+    def test_gauge_keeps_last(self):
+        obs.enable()
+        obs.gauge("loss", 1.0)
+        obs.gauge("loss", 0.25)
+        assert obs.snapshot()["gauges"]["loss"] == 0.25
+
+    def test_histogram_bucketing(self):
+        hist = Histogram((1, 10, 100))
+        for value in (0.5, 1.0, 5, 50, 500, 5000):
+            hist.observe(value)
+        payload = hist.as_dict()
+        assert payload["counts"] == [2, 1, 1, 2]  # last slot = +inf overflow
+        assert payload["count"] == 6
+        assert payload["min"] == 0.5 and payload["max"] == 5000
+        assert payload["mean"] == pytest.approx(sum((0.5, 1, 5, 50, 500, 5000)) / 6)
+
+    def test_histogram_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Histogram((10, 1))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_registry_fixes_bounds_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 3, bounds=(1, 5))
+        registry.observe("h", 7, bounds=(100, 200))  # ignored after creation
+        assert registry.histograms["h"].bounds == (1.0, 5.0)
+
+    def test_span_aggregates_in_snapshot(self):
+        obs.enable()
+        for _ in range(3):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        spans = obs.snapshot()["spans"]
+        assert spans["outer"]["count"] == 3
+        assert spans["outer/inner"]["count"] == 3
+        assert spans["outer"]["wall"] >= spans["outer/inner"]["wall"]
+
+
+class TestSinksAndCli:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=str(path))
+        with obs.span("root", tag="x"):
+            with obs.span("leaf"):
+                pass
+        obs.inc("events", 3)
+        obs.disable()  # flushes the metrics snapshot and closes the file
+
+        records, metrics = obs.read_jsonl(path)
+        assert [r.name for r in records] == ["leaf", "root"]
+        assert records[1].attrs == {"tag": "x"}
+        assert metrics["counters"]["events"] == 3
+
+    def test_jsonl_lines_are_valid_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=str(path))
+        with obs.span("only"):
+            pass
+        obs.disable()
+        lines = path.read_text().strip().splitlines()
+        kinds = [json.loads(line)["kind"] for line in lines]
+        assert kinds == ["span", "metrics"]
+
+    def test_read_jsonl_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "span"\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            obs.read_jsonl(path)
+
+    def test_trace_subcommand_renders_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=str(path))
+        with obs.span("engine.score", pairs=7):
+            with obs.span("engine.forward"):
+                pass
+        obs.inc("engine.pairs_scored", 7)
+        obs.disable()
+
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine.score" in out
+        assert "engine.forward" in out
+        assert "engine.pairs_scored" in out
+
+    def test_trace_subcommand_missing_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_tree_summary_collapses_repeats(self):
+        obs.enable()
+        with obs.span("parent"):
+            for _ in range(5):
+                with obs.span("child"):
+                    pass
+        text = obs.tree_summary(obs.records())
+        assert text.count("child") == 1
+        assert "x5" in text
+
+
+class TestIntegration:
+    @pytest.fixture(scope="class")
+    def tiny_setup(self):
+        from repro.bert.config import BertConfig
+        from repro.bert.model import BertModel
+        from repro.data.loader import PairEncoder
+        from repro.data.registry import load_dataset
+        from repro.models import SingleTaskMatcher
+        from repro.text import WordPieceTokenizer, train_wordpiece
+
+        ds = load_dataset("wdc_computers", size="small")
+        texts = [r.text() for p in ds.all_pairs() for r in (p.record1, p.record2)]
+        tok = WordPieceTokenizer(train_wordpiece(texts, vocab_size=300))
+        cfg = BertConfig(vocab_size=len(tok.vocab), hidden_size=16,
+                         num_layers=1, num_heads=2, intermediate_size=32,
+                         max_position=96, dropout=0.0, attention_dropout=0.0)
+        model = SingleTaskMatcher(BertModel(cfg, np.random.default_rng(0)),
+                                  16, np.random.default_rng(1))
+        encoder = PairEncoder(tok, 96)
+        return ds, model, encoder
+
+    def test_engine_emits_span_tree_and_metrics(self, tiny_setup):
+        from repro.engine import InferenceEngine
+
+        ds, model, encoder = tiny_setup
+        engine = InferenceEngine(model, encoder)
+        obs.enable()
+        engine.score_pairs(ds.train[:8])
+        snap = obs.snapshot()
+        paths = set(snap["spans"])
+        assert "engine.encode" in paths
+        assert "engine.score" in paths
+        assert "engine.score/engine.bucket" in paths
+        assert "engine.score/engine.forward" in paths
+        assert "engine.score/engine.scatter" in paths
+        assert snap["counters"]["engine.pairs_scored"] == 8
+        assert snap["histograms"]["engine.batch_size"]["count"] >= 1
+
+    def test_trainer_emits_epoch_spans_and_gauges(self, tiny_setup):
+        from repro.models import TrainConfig, Trainer
+
+        ds, model, encoder = tiny_setup
+        encoded = encoder.encode_many(ds.train[:8], ds)
+        obs.enable()
+        trainer = Trainer(TrainConfig(epochs=2, batch_size=4, patience=10))
+        trainer.fit(model, encoded, [])
+        snap = obs.snapshot()
+        spans = snap["spans"]
+        assert spans["trainer.fit"]["count"] == 1
+        assert spans["trainer.fit/trainer.epoch"]["count"] == 2
+        assert spans["trainer.fit/trainer.epoch/trainer.batch"]["count"] == 4
+        assert "trainer.loss" in snap["gauges"]
+        assert "trainer.lr" in snap["gauges"]
+
+    def test_checkpointer_save_load_spans(self, tiny_setup, tmp_path):
+        from repro.models import TrainConfig, Trainer
+
+        ds, model, encoder = tiny_setup
+        encoded = encoder.encode_many(ds.train[:6], ds)
+        obs.enable()
+        trainer = Trainer(TrainConfig(epochs=1, batch_size=4, patience=10))
+        trainer.fit(model, encoded, [], checkpoint_dir=tmp_path)
+        trainer.fit(model, encoded, [], checkpoint_dir=tmp_path, resume=True)
+        snap = obs.snapshot()
+        assert snap["counters"]["checkpoint.saves"] >= 1
+        assert snap["histograms"]["checkpoint.save_seconds"]["count"] >= 1
+        assert any(path.endswith("checkpoint.save") for path in snap["spans"])
+        assert any(path.endswith("checkpoint.load") for path in snap["spans"])
+
+    def test_pipeline_blocking_metrics(self, tiny_setup):
+        from repro.blocking import MatchingPipeline, TokenBlocker
+
+        ds, model, encoder = tiny_setup
+        left = [p.record1 for p in ds.train[:6]]
+        right = [p.record2 for p in ds.train[:6]]
+        obs.enable()
+        pipeline = MatchingPipeline(TokenBlocker(), model, encoder)
+        pipeline.match(left, right)
+        snap = obs.snapshot()
+        assert "pipeline.match" in snap["spans"]
+        assert "pipeline.match/pipeline.block" in snap["spans"]
+        assert snap["counters"]["blocking.candidates"] >= 0
+        assert "blocking.candidates.TokenBlocker" in snap["counters"]
