@@ -8,12 +8,12 @@ reports a nonzero memo hit rate, and produces identical predictions.
 
 import pytest
 
-from benchmarks.helpers import RESULTS_DIR, run_once
+from benchmarks.helpers import RESULTS_DIR, record_bench, run_once
 from repro.engine.profile import profile_engine_workload, render_profile
 
 
 @pytest.mark.parametrize("model_name", ["emba_ft"])
-def test_engine_speedup_over_naive(benchmark, model_name):
+def test_engine_speedup_over_naive(benchmark, model_name, request):
     report = run_once(benchmark, lambda: profile_engine_workload(
         dataset="wdc_computers", size="small", model_name=model_name,
         batch_size=32, max_pairs=300, repeats=3,
@@ -26,6 +26,14 @@ def test_engine_speedup_over_naive(benchmark, model_name):
     assert report["max_abs_diff"] <= 1e-6
     # Bucketing keeps padding waste below the naive arrival-order level.
     assert report["stats"]["pad_waste_ratio"] < 0.25
+
+    scored = report["pairs"] * report["repeats"]
+    record_bench(request, f"bench-engine-{model_name}",
+                 speedup=report["speedup"],
+                 infer_pairs_per_s=scored / report["engine_seconds"]
+                 if report["engine_seconds"] else 0.0,
+                 pad_waste_ratio=report["stats"]["pad_waste_ratio"],
+                 encode_hit_rate=report["stats"]["encode_hit_rate"])
 
     path = RESULTS_DIR / "ext_engine.txt"
     header = ("Extension: unified inference engine vs naive scoring "

@@ -9,7 +9,7 @@ ratio; the acceptance bar is <3% regression for the disabled path.
 import numpy as np
 import pytest
 
-from benchmarks.helpers import RESULTS_DIR, run_once
+from benchmarks.helpers import RESULTS_DIR, record_bench, run_once
 from repro import obs
 from repro.bert.config import BertConfig
 from repro.bert.model import BertModel
@@ -50,7 +50,7 @@ def score_seconds(model, encoder, pairs, repeats=3):
     return best
 
 
-def test_disabled_tracing_overhead(benchmark, workload):
+def test_disabled_tracing_overhead(benchmark, workload, request):
     model, encoder, pairs = workload
 
     def measure():
@@ -70,6 +70,11 @@ def test_disabled_tracing_overhead(benchmark, workload):
     regression = disabled / baseline - 1.0
     enabled_overhead = enabled / min(baseline, disabled) - 1.0
     assert regression < 0.03, f"disabled tracing cost {regression:.1%}"
+
+    record_bench(request, "bench-obs-overhead",
+                 disabled_regression=regression,
+                 enabled_overhead=enabled_overhead,
+                 baseline_seconds=baseline)
 
     path = RESULTS_DIR / "ext_obs.txt"
     header = ("Extension: telemetry overhead on engine scoring "

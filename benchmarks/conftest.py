@@ -10,6 +10,13 @@ from pathlib import Path
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--record", action="store_true", default=False,
+        help="register benchmark results as kind='bench' runs in the "
+             "repro run store (REPRO_RUNS_DIR or the default cache root)")
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     reports = sorted(RESULTS_DIR.glob("*.txt")) if RESULTS_DIR.exists() else []
     reports = [p for p in reports if not p.name.endswith("_log.txt")]

@@ -2,9 +2,28 @@
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def record_bench(request, name: str, **metrics) -> None:
+    """With ``--record``, file one benchmark result in the run store.
+
+    The result becomes a completed ``kind="bench"`` run whose manifest
+    metrics are the measured numbers, so performance over time is
+    queryable next to training runs (``repro runs list --kind bench``)
+    and gateable with ``repro runs check``.  Without ``--record`` this
+    is a no-op.
+    """
+    if not request.config.getoption("--record"):
+        return
+    from repro.runs import RunStore
+
+    writer = RunStore().create(name=name, kind="bench",
+                               config={"bench": name}, argv=list(sys.argv))
+    writer.finish(**metrics)
 
 
 def run_once(benchmark, fn):

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Repo check: tier-1 tests, the numerical verify stage (slow-marked
 # sweeps + `repro selfcheck`), the crash-recovery suite under runtime
-# invariants, the inference-engine benchmark smoke, and the telemetry
-# (obs) suite + overhead bench.
+# invariants, the inference-engine benchmark smoke, the telemetry (obs)
+# suite + overhead bench, and the run-registry stage (registry suite,
+# recording/probe overhead bench, and a seeded smoke run gated against
+# the committed baseline by the `repro runs check` watchdog).
 #
 #   bash scripts/check.sh
 #
@@ -33,6 +35,20 @@ echo "== obs: telemetry suite + overhead bench =="
 python -m pytest -q tests/test_obs.py
 python -m pytest -q benchmarks/bench_ext_obs.py
 
+echo "== runs: registry suite + recording/probe overhead bench =="
+python -m pytest -q tests/test_runs.py
+python -m pytest -q benchmarks/bench_ext_runs.py
+
+echo "== runs: seeded smoke run vs committed baseline (watchdog) =="
+RUNS_TMP="$(mktemp -d)"
+trap 'rm -rf "$RUNS_TMP"' EXIT
+REPRO_RUNS_DIR="$RUNS_TMP" python -m repro.cli run \
+    --dataset wdc_computers --size small --model emba_ft \
+    --profile smoke --epochs 10 --seed 1 --no-cache --name watchdog-smoke
+REPRO_RUNS_DIR="$RUNS_TMP" python -m repro.cli runs check watchdog-smoke \
+    --baseline tests/baselines/runs_smoke.json --f1-tol 0.05
+
 echo "== results =="
 cat results/ext_engine.txt
 cat results/ext_obs.txt
+cat results/ext_runs.txt

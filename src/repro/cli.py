@@ -17,6 +17,11 @@ Commands
 - ``trace FILE``               render a JSON-lines trace (written via
                                ``--trace-file`` or ``REPRO_TRACE=<path>``)
                                as a span tree plus the metrics table
+- ``runs list|show|diff|check|prune``  the persistent run registry:
+                               list recorded runs, inspect one (manifest,
+                               training curves, probe channels), diff two,
+                               gate a candidate against a baseline
+                               (non-zero exit on regression), prune old runs
 
 ``run``, ``resume``, and ``profile-engine`` accept ``--trace`` (print a
 span tree + metrics summary after the command) and ``--trace-file PATH``
@@ -38,15 +43,27 @@ def _cmd_datasets(args) -> int:
 
 
 def _cmd_run(args, resume: bool = False) -> int:
-    from repro.experiments.config import PROFILES, spec_for
+    from dataclasses import replace
+
+    from repro.experiments.config import PROFILES, spec_for, training_schedule
     from repro.experiments.runner import run_experiment
 
     profile = PROFILES[args.profile]
     spec = spec_for(args.dataset, args.size, args.model, args.seed, profile)
+    if getattr(args, "epochs", 0):
+        # Changes the spec digest, so resume must pass the same value.
+        # Patience comes from the dataset schedule, not the (possibly
+        # tighter) profile cap the override is replacing.
+        schedule = training_schedule(args.dataset, args.size)
+        spec = replace(spec, epochs=args.epochs,
+                       patience=min(schedule["patience"], args.epochs))
     metrics = run_experiment(
         spec, use_cache=not args.no_cache,
         checkpoint=resume or getattr(args, "checkpoint", False),
         resume=resume, max_retries=getattr(args, "retries", 0),
+        record_run=not getattr(args, "no_record", False),
+        run_name=getattr(args, "name", ""),
+        probe_every=getattr(args, "probe_every", 0),
     )
     print(f"{args.model} on {args.dataset}/{args.size} (seed {args.seed})")
     print(f"  EM F1        = {100 * metrics['em_f1']:.2f}")
@@ -146,9 +163,84 @@ def _cmd_trace(args) -> int:
         print(f"malformed trace: {exc}", file=sys.stderr)
         return 2
     print(tree_summary(records))
-    if metrics is not None and not args.no_metrics:
+    if not args.no_metrics:
         print()
-        print(render_metrics(metrics))
+        if metrics is not None:
+            print(render_metrics(metrics))
+        else:
+            print("(no metrics captured in trace)")
+    return 0
+
+
+def _runs_store(args):
+    from repro.runs import RunStore
+
+    return RunStore(args.root or None)
+
+
+def _cmd_runs_list(args) -> int:
+    from repro.runs import render_list
+
+    print(render_list(_runs_store(args).list(kind=args.kind or None)))
+    return 0
+
+
+def _cmd_runs_show(args) -> int:
+    from repro.runs import render_show
+
+    store = _runs_store(args)
+    try:
+        record = store.resolve(args.ref)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(render_show(record, channels=tuple(args.channel)))
+    return 0
+
+
+def _cmd_runs_diff(args) -> int:
+    from repro.runs import diff_runs
+
+    store = _runs_store(args)
+    try:
+        a, b = store.resolve(args.a), store.resolve(args.b)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    channels = tuple(args.channel) or ("loss", "valid_f1")
+    print(diff_runs(a, b, channels=channels))
+    return 0
+
+
+def _cmd_runs_check(args) -> int:
+    """The regression watchdog: non-zero exit when the candidate regressed."""
+    from repro.runs import Tolerance, check_regression, load_baseline
+
+    store = _runs_store(args)
+    try:
+        baseline = load_baseline(args.baseline, store)
+        candidate = store.resolve(args.ref).manifest
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    tol = Tolerance(f1_drop=args.f1_tol, throughput_drop=args.throughput_tol,
+                    health=not args.no_health)
+    violations = check_regression(baseline, candidate, tol)
+    base_name = baseline.get("id") or args.baseline
+    if violations:
+        print(f"REGRESSION: {candidate.get('id', '?')} vs {base_name}")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print(f"ok: {candidate.get('id', '?')} within tolerance of {base_name} "
+          f"(em_f1 {candidate.get('metrics', {}).get('em_f1', float('nan')):.4f})")
+    return 0
+
+
+def _cmd_runs_prune(args) -> int:
+    removed = _runs_store(args).prune(args.keep)
+    print(f"removed {len(removed)} run(s)"
+          + (f": {', '.join(removed)}" if removed else ""))
     return 0
 
 
@@ -179,6 +271,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream the trace to this file as JSON lines "
                             "(implies --trace; read back with `repro trace`)")
 
+    def add_record_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--epochs", type=int, default=0,
+                       help="override the profile's training epochs "
+                            "(0 = profile default)")
+        p.add_argument("--name", default="",
+                       help="name for the recorded run (default: "
+                            "model-dataset-size-sSEED)")
+        p.add_argument("--probe-every", type=int, default=10,
+                       help="sample model-introspection probes every N steps "
+                            "(0 disables)")
+        p.add_argument("--no-record", action="store_true",
+                       help="do not register this run in the run store")
+
     run = sub.add_parser("run", help="train and evaluate one configuration")
     run.add_argument("--dataset", required=True)
     run.add_argument("--model", default="emba")
@@ -190,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persist full training state every epoch")
     run.add_argument("--retries", type=int, default=0,
                      help="resume attempts after transient training faults")
+    add_record_flags(run)
     add_trace_flags(run)
     run.set_defaults(fn=_cmd_run)
 
@@ -205,6 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--no-cache", action="store_true")
     resume.add_argument("--retries", type=int, default=2,
                         help="resume attempts after transient training faults")
+    add_record_flags(resume)
     add_trace_flags(resume)
     resume.set_defaults(fn=_cmd_resume)
 
@@ -245,6 +352,71 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--no-metrics", action="store_true",
                        help="omit the metrics table")
     trace.set_defaults(fn=_cmd_trace)
+
+    runs = sub.add_parser(
+        "runs",
+        help="the persistent run registry: list/show/diff/check/prune",
+    )
+    rsub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def add_root(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--root", default="",
+                       help="run store root (default: REPRO_RUNS_DIR or "
+                            "<cache>/runs)")
+
+    runs_list = rsub.add_parser("list", help="table of recorded runs")
+    runs_list.add_argument("--kind", default="",
+                           help="only runs of this kind (train, bench, ...)")
+    add_root(runs_list)
+    runs_list.set_defaults(fn=_cmd_runs_list)
+
+    runs_show = rsub.add_parser(
+        "show", help="one run: manifest, metrics, training curves")
+    runs_show.add_argument("ref", nargs="?", default="latest",
+                           help="run id, run name, or 'latest'")
+    runs_show.add_argument("--channel", action="append", default=[],
+                           help="series channel to plot (repeatable; "
+                                "default: loss, valid_f1)")
+    add_root(runs_show)
+    runs_show.set_defaults(fn=_cmd_runs_show)
+
+    runs_diff = rsub.add_parser(
+        "diff", help="compare two runs: config, metrics, overlaid curves")
+    runs_diff.add_argument("a", help="baseline run id/name")
+    runs_diff.add_argument("b", nargs="?", default="latest",
+                           help="candidate run id/name (default: latest)")
+    runs_diff.add_argument("--channel", action="append", default=[],
+                           help="series channel to overlay (repeatable)")
+    add_root(runs_diff)
+    runs_diff.set_defaults(fn=_cmd_runs_diff)
+
+    runs_check = rsub.add_parser(
+        "check",
+        help="regression watchdog: exit non-zero when the candidate "
+             "regressed vs. the baseline",
+    )
+    runs_check.add_argument("ref", nargs="?", default="latest",
+                            help="candidate run id/name (default: latest)")
+    runs_check.add_argument("--baseline", required=True,
+                            help="baseline run id/name, or a committed "
+                                 "manifest.json path")
+    runs_check.add_argument("--f1-tol", type=float, default=0.01,
+                            help="max allowed absolute em_f1 drop "
+                                 "(non-positive disables)")
+    runs_check.add_argument("--throughput-tol", type=float, default=0.0,
+                            help="max allowed relative infer throughput drop, "
+                                 "e.g. 0.2 = 20%% (0 disables; baselines are "
+                                 "machine-specific)")
+    runs_check.add_argument("--no-health", action="store_true",
+                            help="do not compare fault/health counters")
+    add_root(runs_check)
+    runs_check.set_defaults(fn=_cmd_runs_check)
+
+    runs_prune = rsub.add_parser("prune", help="delete all but the newest N runs")
+    runs_prune.add_argument("--keep", type=int, required=True,
+                            help="number of newest runs to keep")
+    add_root(runs_prune)
+    runs_prune.set_defaults(fn=_cmd_runs_prune)
 
     sub.add_parser("casestudy", help="print the Sec. 4.7 case-study pair"
                    ).set_defaults(fn=_cmd_casestudy)

@@ -42,6 +42,7 @@ from repro.data.schema import EMDataset, EntityPair
 from repro.engine.memo import LRUCache, array_digest, text_digest
 from repro.engine.stats import EngineStats
 from repro import obs
+from repro.runs import store as runstore
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, no_grad
 
@@ -232,9 +233,14 @@ class InferenceEngine:
             mask[quarantined_rows] = True
         outputs["quarantined"] = mask
         self._pairs_scored += n
-        self._wall_seconds += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self._wall_seconds += elapsed
         if obs.enabled():
             self._export_metrics(n)
+        runstore.record_event(
+            "engine.score", pairs=n, wall_s=round(elapsed, 6),
+            pairs_per_s=round(n / elapsed, 2) if elapsed > 0 else 0.0,
+            quarantined=len(quarantined_rows))
         return outputs
 
     def _export_metrics(self, pairs: int) -> None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 from dataclasses import replace
 from functools import lru_cache
@@ -55,6 +56,9 @@ from repro.models import (
 from repro.text import SubwordHasher, WordPieceTokenizer, train_wordpiece
 from repro.text.corpus import build_corpus
 from repro import obs
+from repro.runs import store as runstore
+from repro.runs.probes import ProbeConfig
+from repro.runs.store import RunStore, RunWriter
 
 _FASTTEXT_DIM = 48
 
@@ -152,6 +156,7 @@ def progress_path_for(spec: RunSpec) -> Path:
 
 def _record_progress(spec: RunSpec, stage: str, enabled: bool, **extra) -> None:
     """Persist the spec's current pipeline stage (atomic, best-effort)."""
+    runstore.record_event("stage", stage=stage, **extra)
     if not enabled:
         return
     path = progress_path_for(spec)
@@ -166,9 +171,30 @@ def _record_progress(spec: RunSpec, stage: str, enabled: bool, **extra) -> None:
         tmp.unlink(missing_ok=True)
 
 
+def _open_run(spec: RunSpec, resume: bool, run_name: str) -> RunWriter:
+    """Create (or, on resume, reattach) the run this execution records into.
+
+    On resume the newest non-completed run with the same config hash is
+    reopened, so the continued training appends to the original time
+    series instead of starting a sibling run.
+    """
+    store = RunStore()
+    config = dict(spec.__dict__)
+    writer = store.reattach_incomplete(config) if resume else None
+    if writer is None:
+        writer = store.create(
+            name=run_name or f"{spec.model}-{spec.dataset}-{spec.size}"
+                             f"-s{spec.seed}",
+            kind="train", config=config, argv=list(sys.argv),
+            model=spec.model, dataset=spec.dataset, size=spec.size,
+            seed=spec.seed)
+    return writer
+
+
 def run_experiment(spec: RunSpec, use_cache: bool = True,
                    checkpoint: bool = False, resume: bool = False,
-                   max_retries: int = 0) -> dict:
+                   max_retries: int = 0, record_run: bool = True,
+                   run_name: str = "", probe_every: int = 0) -> dict:
     """Execute one run (or load it from the result cache).
 
     Returns a flat metrics dict: ``em_f1``, ``em_precision``,
@@ -180,12 +206,37 @@ def run_experiment(spec: RunSpec, use_cache: bool = True,
     continues a previously crashed run from its newest checkpoint.
     Transient faults during training trigger up to ``max_retries``
     rebuild-and-resume attempts before propagating.
+
+    With ``record_run`` (the default) the execution is registered in the
+    :class:`~repro.runs.store.RunStore`: a run directory with the spec's
+    config, a per-step training time series, and the final metrics.
+    ``probe_every > 0`` additionally samples model-introspection probe
+    channels every N steps (observation-only).  A result-cache hit
+    executes nothing and therefore records no run.
     """
     checkpoint = checkpoint or resume
     cache_path = _results_dir() / f"{spec.digest()}.json"
     if use_cache and cache_path.exists():
         return json.loads(cache_path.read_text(encoding="utf-8"))
 
+    if record_run:
+        writer = _open_run(spec, resume, run_name)
+        with runstore.recording(writer):
+            metrics = _execute(spec, checkpoint=checkpoint, resume=resume,
+                               max_retries=max_retries,
+                               probe_every=probe_every)
+        writer.finish(**metrics)
+    else:
+        metrics = _execute(spec, checkpoint=checkpoint, resume=resume,
+                           max_retries=max_retries, probe_every=probe_every)
+    if use_cache:
+        cache_path.write_text(json.dumps(metrics), encoding="utf-8")
+    return metrics
+
+
+def _execute(spec: RunSpec, checkpoint: bool, resume: bool,
+             max_retries: int, probe_every: int) -> dict:
+    """The actual pipeline behind :func:`run_experiment` (no caching)."""
     model_spec = MODEL_SPECS[spec.model]
     _record_progress(spec, "load_data", checkpoint)
     with obs.span("runner.load_data", dataset=spec.dataset, size=spec.size):
@@ -245,8 +296,11 @@ def run_experiment(spec: RunSpec, use_cache: bool = True,
             _record_progress(spec, "train", checkpoint, attempt=attempts)
             with obs.span("runner.train", attempt=attempts):
                 fault_point("runner.train")
-                fit = trainer.fit(model, train, valid, checkpoint_dir=ckpt_dir,
-                                  resume=resume or attempts > 0)
+                fit = trainer.fit(
+                    model, train, valid, checkpoint_dir=ckpt_dir,
+                    resume=resume or attempts > 0,
+                    probes=(ProbeConfig(interval=probe_every)
+                            if probe_every > 0 else None))
             break
         except (FaultError, OSError) as exc:
             transient = getattr(exc, "transient", True)
@@ -273,6 +327,7 @@ def run_experiment(spec: RunSpec, use_cache: bool = True,
         "train_seconds": train_seconds,
         "train_attempts": attempts + 1,
         "nonfinite_skipped": fit.nonfinite_skipped,
+        "checkpoint_failures": fit.checkpoint_failures,
         "quarantined": engine_stats.quarantined,
         "infer_seconds": engine_stats.wall_seconds,
         "infer_pairs_per_s": engine_stats.pairs_per_second,
@@ -287,8 +342,6 @@ def run_experiment(spec: RunSpec, use_cache: bool = True,
         pooled_pred = np.concatenate([preds["id1_pred"], preds["id2_pred"]])
         metrics["id_micro_f1"] = micro_f1(pooled_true, pooled_pred)
     _record_progress(spec, "done", checkpoint, attempt=attempts)
-    if use_cache:
-        cache_path.write_text(json.dumps(metrics), encoding="utf-8")
     return metrics
 
 

@@ -111,6 +111,10 @@ class TrainingState:
     stopper: dict = field(default_factory=dict)
     result: dict = field(default_factory=dict)  # TrainResult fields
     lr_scale: float = 1.0                       # divergence-rollback LR factor
+    # Telemetry counters at the boundary (repro.obs), so a resumed run
+    # reports cumulative nonfinite_skipped/rollbacks instead of
+    # restarting mid-run from zero.  Empty when telemetry was off.
+    obs_counters: dict = field(default_factory=dict)
 
 
 _ARRAY_SLOTS = ("m", "v", "velocity")   # optimizer keys holding array lists
@@ -155,6 +159,7 @@ def _unflatten_arrays(arrays: dict[str, np.ndarray], manifest: dict) -> Training
         stopper=manifest["stopper"],
         result=manifest["result"],
         lr_scale=float(manifest.get("lr_scale", 1.0)),
+        obs_counters=dict(manifest.get("obs_counters", {})),
     )
 
 
@@ -226,6 +231,7 @@ class Checkpointer:
                 "stopper": state.stopper,
                 "result": state.result,
                 "lr_scale": state.lr_scale,
+                "obs_counters": state.obs_counters,
             }
             tmp = self.manifest_path(state.epoch).with_suffix(".json.tmp")
             try:

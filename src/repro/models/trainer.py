@@ -39,6 +39,8 @@ from repro.ft.checkpoint import (
 from repro.ft.faults import fault_point
 from repro.models.base import EMModel
 from repro import obs
+from repro.runs import store as runstore
+from repro.runs.probes import ProbeConfig, Prober
 from repro.nn.optim import Adam, clip_grad_norm_
 from repro.nn.schedules import LinearWarmupDecay
 from repro.nn.serialization import CheckpointError
@@ -155,6 +157,7 @@ class Trainer:
             stopper=stopper.state_dict(),
             result=asdict(result),
             lr_scale=lr_scale,
+            obs_counters=dict(obs.REGISTRY.counters) if obs.enabled() else {},
         )
 
     @staticmethod
@@ -171,18 +174,30 @@ class Trainer:
         for f in fields(TrainResult):
             if f.name in state.result:
                 setattr(result, f.name, state.result[f.name])
+        # Telemetry counters are cumulative over the *run*, not the
+        # process: a resumed run picks them up where the boundary left
+        # them instead of re-counting from zero.
+        if state.obs_counters and obs.enabled():
+            obs.REGISTRY.counters.update(state.obs_counters)
         return dict(state.best_model)
 
     def fit(self, model: EMModel, train: list[EncodedPair],
             valid: list[EncodedPair],
             checkpoint_dir: str | Path | None = None,
-            resume: bool = False) -> TrainResult:
+            resume: bool = False,
+            probes: ProbeConfig | None = None) -> TrainResult:
         """Train with Algorithm 1 and restore the best validation state.
 
         With ``checkpoint_dir`` the full training state is persisted at
         every epoch boundary; ``resume=True`` additionally restores the
         newest valid checkpoint before training (a fresh run starts when
         none exists).
+
+        When a run is recording (:func:`repro.runs.store.active`), every
+        step's loss/LR and every epoch's validation F1 + throughput are
+        appended to its time series; ``probes`` additionally samples
+        model-introspection channels (observation-only — the trained
+        weights are byte-identical with probes on or off).
         """
         cfg = self.config
         if not train:
@@ -212,7 +227,15 @@ class Trainer:
                                            stopper, result, rng)
                 start_epoch = state.epoch
                 lr_scale = state.lr_scale
+                # The resumed run replays from the boundary: drop the
+                # steps past it so the series stays contiguous (each
+                # step recorded exactly once).
+                runstore.truncate_active(start_epoch * steps_per_epoch)
+                runstore.record_event("resume", epoch=start_epoch)
 
+        prober = (Prober(model, probes)
+                  if probes is not None and probes.enabled else None)
+        run = runstore.active()
         epoch = start_epoch
         fit_span = obs.span("trainer.fit", epochs=cfg.epochs,
                             start_epoch=start_epoch, batches=steps_per_epoch)
@@ -225,7 +248,10 @@ class Trainer:
                     skipped_this_epoch = 0
                     rolled_back = False
                     rollback_tried = False
-                    for batch in iter_batches(train, cfg.batch_size, rng=rng):
+                    probing = False
+                    for step_in_epoch, batch in enumerate(
+                            iter_batches(train, cfg.batch_size, rng=rng)):
+                        gstep = epoch * steps_per_epoch + step_in_epoch
                         with obs.span("trainer.batch", size=batch.size) as bspan:
                             output = model(batch)
                             loss = model.loss(output, batch)
@@ -238,6 +264,8 @@ class Trainer:
                                 result.nonfinite_skipped += 1
                                 skipped_this_epoch += 1
                                 obs.inc("trainer.nonfinite_skipped")
+                                runstore.record_event("nonfinite_skip",
+                                                      step=gstep)
                                 bspan.set("skipped", "nonfinite")
                                 if (skipped_this_epoch > cfg.max_nonfinite_batches
                                         and result.lr_halvings < cfg.max_lr_halvings
@@ -252,9 +280,21 @@ class Trainer:
                             model.zero_grad()
                             loss.backward()
                             clip_grad_norm_(model.parameters(), cfg.max_grad_norm)
+                            probing = (run is not None and prober is not None
+                                       and prober.should_sample(gstep))
+                            if probing:
+                                probe_stats = prober.forward_stats(output, batch)
+                                probe_stats.update(prober.grad_stats())
+                                weights_before = prober.snapshot_weights()
                             optimizer.step()
+                            if probing:
+                                probe_stats.update(
+                                    prober.update_stats(weights_before))
                             lr = schedule.step()
                             epoch_losses.append(float(loss.data))
+                        if run is not None:
+                            run.log_step(gstep, loss=float(loss.data), lr=lr,
+                                         **(probe_stats if probing else {}))
                         if obs.enabled():
                             obs.gauge("trainer.loss", float(loss.data))
                             obs.gauge("trainer.lr", lr)
@@ -275,14 +315,37 @@ class Trainer:
                         lr_scale = restored.lr_scale * 0.5
                         schedule.peak_lr = cfg.learning_rate * lr_scale
                         epoch = restored.epoch
+                        # The rewound epochs will be replayed: drop their
+                        # steps so the series stays contiguous.
+                        runstore.truncate_active(epoch * steps_per_epoch)
+                        runstore.record_event("rollback", epoch=epoch,
+                                              lr_scale=lr_scale)
                         continue
 
-                    result.train_losses.append(
-                        float(np.mean(epoch_losses)) if epoch_losses else float("nan"))
+                    epoch_loss = (float(np.mean(epoch_losses))
+                                  if epoch_losses else float("nan"))
+                    result.train_losses.append(epoch_loss)
 
+                    valid_pairs_per_s = 0.0
                     with obs.span("trainer.validate", epoch=epoch):
-                        valid_f1 = self.evaluate_f1(model, valid) if valid else 0.0
+                        if valid:
+                            engine = self._engine(model)
+                            out = engine.score_encoded(valid)
+                            valid_f1 = binary_f1(out["labels"], out["em_pred"])
+                            estats = engine.stats
+                            if estats.wall_seconds > 0:
+                                valid_pairs_per_s = estats.pairs_per_second
+                        else:
+                            valid_f1 = 0.0
                     obs.gauge("trainer.valid_f1", valid_f1)
+                    if run is not None:
+                        # Epoch-level channels land on the epoch's *last*
+                        # batch step, so a resume truncation at the next
+                        # boundary keeps this (already-validated) epoch.
+                        run.log_step((epoch + 1) * steps_per_epoch - 1,
+                                     valid_f1=valid_f1, epoch=epoch,
+                                     epoch_loss=epoch_loss,
+                                     valid_pairs_per_s=valid_pairs_per_s)
                     result.valid_f1s.append(valid_f1)
                     result.epochs_run = epoch + 1
                     if valid:

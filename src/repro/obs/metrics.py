@@ -56,12 +56,18 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def overflow(self) -> int:
+        """Observations beyond the last bound (the implicit +inf bucket)."""
+        return self.counts[-1]
+
     def as_dict(self) -> dict:
         return {
             "bounds": list(self.bounds), "counts": list(self.counts),
             "count": self.count, "sum": self.total, "mean": self.mean,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
+            "overflow": self.overflow,
         }
 
 
@@ -125,4 +131,12 @@ def render_metrics(snapshot: dict) -> str:
             lines.append(
                 f"  {name:<40} count={h['count']} mean={h['mean']:.4g} "
                 f"min={h['min']:.4g} max={h['max']:.4g}")
+            bounds, counts = h.get("bounds", []), h.get("counts", [])
+            parts = [f"<={bound:g}:{count}"
+                     for bound, count in zip(bounds, counts) if count]
+            overflow = counts[len(bounds)] if len(counts) > len(bounds) else 0
+            if overflow:
+                parts.append(f">{bounds[-1]:g}:{overflow}")
+            if parts:
+                lines.append(f"    buckets: {' '.join(parts)}")
     return "\n".join(lines) if lines else "(no metrics recorded)"

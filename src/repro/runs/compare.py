@@ -1,0 +1,164 @@
+"""Run diffing and the regression watchdog.
+
+:func:`diff_runs` renders what changed between two runs — config and
+manifest fields, final-metric deltas, and overlaid training curves for
+the channels both runs recorded.  :func:`check_regression` is the
+watchdog behind ``repro runs check``: it compares a candidate run's
+final metrics against a *baseline* (another run, or a committed
+manifest JSON) under explicit tolerances and returns the list of
+violations, so CI can gate quality (EM F1), performance (inference
+throughput), and run health (fault counters) the same way the verify
+stage gates correctness.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.runs.report import render_curve
+from repro.runs.store import RunRecord, RunStore
+
+#: Counters whose *increase* over the baseline marks an unhealthy run.
+HEALTH_COUNTERS = ("nonfinite_skipped", "quarantined", "checkpoint_failures")
+
+#: Channels overlaid by default in ``diff`` output.
+_DIFF_CHANNELS = ("loss", "valid_f1")
+
+
+@dataclass
+class Tolerance:
+    """Watchdog tolerances (all opt-out: a non-positive value disables).
+
+    ``f1_drop`` is an absolute drop in ``em_f1``; ``throughput_drop`` a
+    relative drop in ``infer_pairs_per_s`` (0.2 = 20% slower trips it) —
+    disabled by default because throughput baselines are only meaningful
+    on the machine that recorded them; ``health`` trips when any
+    :data:`HEALTH_COUNTERS` exceeds the baseline's count.
+    """
+
+    f1_drop: float = 0.01
+    throughput_drop: float = 0.0
+    health: bool = True
+
+
+def load_baseline(ref: str, store: RunStore | None = None) -> dict:
+    """Resolve a baseline manifest from a path or a store run reference.
+
+    A ``ref`` naming an existing file (a committed ``manifest.json``) is
+    loaded directly; anything else is resolved in the store by run id,
+    run name, or ``latest``.
+    """
+    path = Path(ref)
+    if path.is_file():
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+        if "metrics" not in manifest:
+            raise ValueError(f"{ref}: not a run manifest (no 'metrics' key)")
+        return manifest
+    return (store or RunStore()).resolve(ref).manifest
+
+
+def check_regression(baseline: dict, candidate: dict,
+                     tol: Tolerance | None = None) -> list[str]:
+    """Compare manifests; return human-readable violations (empty = pass)."""
+    tol = tol or Tolerance()
+    base, cand = baseline.get("metrics", {}), candidate.get("metrics", {})
+    violations: list[str] = []
+
+    if candidate.get("status") not in ("completed", None):
+        violations.append(f"candidate run status is "
+                          f"{candidate.get('status')!r}, not 'completed'")
+
+    if tol.f1_drop > 0:
+        if "em_f1" not in cand:
+            violations.append("candidate has no em_f1 metric")
+        elif "em_f1" in base:
+            drop = base["em_f1"] - cand["em_f1"]
+            if drop > tol.f1_drop:
+                violations.append(
+                    f"em_f1 regressed: {base['em_f1']:.4f} -> "
+                    f"{cand['em_f1']:.4f} (drop {drop:.4f} > "
+                    f"tolerance {tol.f1_drop:.4f})")
+
+    if tol.throughput_drop > 0 and base.get("infer_pairs_per_s"):
+        have = cand.get("infer_pairs_per_s", 0.0)
+        rel = 1.0 - have / base["infer_pairs_per_s"]
+        if rel > tol.throughput_drop:
+            violations.append(
+                f"inference throughput regressed: "
+                f"{base['infer_pairs_per_s']:.1f} -> {have:.1f} pairs/s "
+                f"({rel:.1%} slower > tolerance {tol.throughput_drop:.0%})")
+
+    if tol.health:
+        for counter in HEALTH_COUNTERS:
+            allowed = base.get(counter, 0) or 0
+            seen = cand.get(counter, 0) or 0
+            if seen > allowed:
+                violations.append(
+                    f"health counter {counter} rose: "
+                    f"{allowed} -> {seen}")
+    return violations
+
+
+def manifest_diff(a: dict, b: dict) -> list[str]:
+    """Config/identity fields that differ between two manifests."""
+    lines = []
+    for key in ("model", "dataset", "size", "seed", "kind", "config_hash"):
+        va, vb = a.get(key), b.get(key)
+        if va != vb:
+            lines.append(f"  {key}: {va} -> {vb}")
+    ca, cb = a.get("config", {}), b.get("config", {})
+    for key in sorted(set(ca) | set(cb)):
+        va, vb = ca.get(key), cb.get(key)
+        if va != vb:
+            lines.append(f"  config.{key}: {va} -> {vb}")
+    return lines
+
+
+def metric_deltas(a: dict, b: dict) -> list[str]:
+    """Final-metric deltas (numeric metrics present in either run)."""
+    ma, mb = a.get("metrics", {}), b.get("metrics", {})
+    lines = []
+    for key in sorted(set(ma) | set(mb)):
+        if str(key).startswith("spec_"):
+            continue
+        va, vb = ma.get(key), mb.get(key)
+        if not all(isinstance(v, (int, float)) or v is None for v in (va, vb)):
+            continue
+        if va is None or vb is None:
+            lines.append(f"  {key:<24} {va} -> {vb}")
+        elif va != vb:
+            lines.append(f"  {key:<24} {va:.6g} -> {vb:.6g} "
+                         f"({vb - va:+.6g})")
+    return lines
+
+
+def _overlay_curves(a: RunRecord, b: RunRecord, channel: str,
+                    width: int = 64) -> str | None:
+    """Render both runs' series for one channel, stacked for comparison."""
+    sa, va = a.channel(channel)
+    sb, vb = b.channel(channel)
+    if not sa or not sb:
+        return None
+    return (render_curve(sa, va, title=f"{channel} [{a.id}]", width=width)
+            + "\n"
+            + render_curve(sb, vb, title=f"{channel} [{b.id}]", width=width))
+
+
+def diff_runs(a: RunRecord, b: RunRecord,
+              channels: tuple[str, ...] = _DIFF_CHANNELS) -> str:
+    """Full textual diff of two runs: manifest, metrics, curves."""
+    lines = [f"diff {a.id} -> {b.id}"]
+    manifest = manifest_diff(a.manifest, b.manifest)
+    lines.append("manifest:" if manifest else "manifest: (identical config)")
+    lines.extend(manifest)
+    deltas = metric_deltas(a.manifest, b.manifest)
+    lines.append("metrics:" if deltas else "metrics: (identical)")
+    lines.extend(deltas)
+    for channel in channels:
+        rendered = _overlay_curves(a, b, channel)
+        if rendered:
+            lines.append("")
+            lines.append(rendered)
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Human-readable rendering of runs: tables, manifests, ASCII curves.
+
+The ``repro runs`` CLI is a thin wrapper over these functions, so they
+are also directly usable (and tested) as a library: :func:`render_list`
+for the registry table, :func:`render_show` for one run (manifest +
+training curves + probe channels), :func:`render_curve` for a single
+channel's time series as an ASCII plot.
+"""
+
+from __future__ import annotations
+
+from repro.runs.store import RunRecord
+
+# Final-metric names surfaced in the list table, in display order.
+_LIST_METRICS = ("em_f1", "best_valid_f1", "infer_pairs_per_s")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_curve(steps: list[float], values: list[float], title: str = "",
+                 width: int = 64, height: int = 8) -> str:
+    """Plot one channel as an ASCII curve with a min/max-labelled y-axis.
+
+    Steps are binned onto ``width`` columns (bin mean, so dense series
+    stay readable) and values scaled onto ``height`` rows.
+    """
+    if not steps:
+        return f"{title}: (no data)"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    s0, s1 = min(steps), max(steps)
+    sspan = (s1 - s0) or 1.0
+    columns: list[list[float]] = [[] for _ in range(width)]
+    for step, value in zip(steps, values):
+        col = min(int((step - s0) / sspan * (width - 1)), width - 1)
+        columns[col].append(value)
+    grid = [[" "] * width for _ in range(height)]
+    for col, bucket in enumerate(columns):
+        if not bucket:
+            continue
+        mean = sum(bucket) / len(bucket)
+        row = height - 1 - min(int((mean - lo) / span * (height - 1)),
+                               height - 1)
+        grid[row][col] = "*"
+    lines = []
+    if title:
+        lines.append(f"{title}  [{len(steps)} points, "
+                     f"steps {s0:g}..{s1:g}]")
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{hi:>10.4g} "
+        elif i == height - 1:
+            label = f"{lo:>10.4g} "
+        else:
+            label = " " * 11
+        lines.append(label + "|" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    return "\n".join(lines)
+
+
+def render_list(records: list[RunRecord]) -> str:
+    """The registry as one row per run (newest last)."""
+    if not records:
+        return "(no runs recorded)"
+    header = (f"{'id':<12} {'status':<10} {'kind':<7} {'model':<14} "
+              f"{'dataset':<16} {'seed':>4} {'em_f1':>8} {'wall_s':>8}  name")
+    lines = [header, "-" * len(header)]
+    for record in records:
+        m = record.manifest
+        f1 = record.metrics.get("em_f1")
+        f1_cell = f"{f1:>8.4f}" if f1 is not None else f"{'-':>8}"
+        lines.append(
+            f"{record.id:<12} {record.status:<10} {m.get('kind', '?'):<7} "
+            f"{str(m.get('model', '-')):<14} {str(m.get('dataset', '-')):<16} "
+            f"{str(m.get('seed', '-')):>4} {f1_cell} "
+            f"{m.get('wall_seconds', 0.0):>8.1f}  {record.name or '-'}")
+    return "\n".join(lines)
+
+
+def render_show(record: RunRecord, channels: tuple[str, ...] = (),
+                curve_width: int = 64) -> str:
+    """One run in full: manifest summary, metrics, curves, channels.
+
+    ``channels`` selects the series channels to plot; by default the
+    training staples (``loss``, ``valid_f1``) are plotted and every
+    other recorded channel is listed by name with its last value.
+    """
+    m = record.manifest
+    lines = [f"run {record.id}" + (f"  ({record.name})" if record.name else ""),
+             f"  status={record.status} kind={m.get('kind', '?')} "
+             f"model={m.get('model', '-')} dataset={m.get('dataset', '-')} "
+             f"size={m.get('size', '-')} seed={m.get('seed', '-')}",
+             f"  config_hash={m.get('config_hash', '-')} "
+             f"wall_seconds={m.get('wall_seconds', 0.0):.1f}"]
+    if m.get("argv"):
+        lines.append(f"  argv: {' '.join(map(str, m['argv']))}")
+    if m.get("error"):
+        lines.append(f"  error: {m['error']}")
+    metrics = record.metrics
+    if metrics:
+        lines.append("  metrics:")
+        for name in sorted(metrics):
+            if not str(name).startswith("spec_"):
+                lines.append(f"    {name:<24} {_fmt(metrics[name])}")
+    available = record.channels()
+    plotted = list(channels) if channels else [
+        c for c in ("loss", "valid_f1") if c in available]
+    for channel in plotted:
+        steps, values = record.channel(channel)
+        lines.append("")
+        lines.append(render_curve(steps, values, title=channel,
+                                  width=curve_width))
+    rest = [c for c in available if c not in plotted]
+    if rest:
+        lines.append("")
+        lines.append("  other channels (last value):")
+        for channel in rest:
+            steps, values = record.channel(channel)
+            lines.append(f"    {channel:<32} {values[-1]:.5g}  "
+                         f"[{len(values)} points]")
+    events = record.events()
+    if events:
+        lines.append("")
+        lines.append(f"  events: {len(events)}")
+        for event in events[-8:]:
+            detail = " ".join(f"{k}={_fmt(v)}" for k, v in event.items()
+                              if k not in ("kind", "name"))
+            lines.append(f"    {event.get('name', '?'):<20} {detail}")
+    return "\n".join(lines)

@@ -34,12 +34,15 @@ from repro.ft import (
     inject,
     restore_module_rngs,
 )
+from repro import obs
 from repro.models import Emba, SingleTaskMatcher
 from repro.models.trainer import EarlyStopping, TrainConfig, Trainer
 from repro.nn.layers import Dropout, Linear
 from repro.nn.optim import SGD, Adam
 from repro.nn.schedules import LinearWarmupDecay
 from repro.nn.serialization import load_arrays, save_arrays
+from repro.runs import RunStore
+from repro.runs import store as runstore
 from repro.nn.tensor import Tensor
 from repro.text import WordPieceTokenizer, train_wordpiece
 
@@ -267,6 +270,68 @@ class TestTrainingGuards:
         epochs = Checkpointer(tmp_path).saved_epochs()
         assert 2 not in epochs and epochs[-1] == 3
         assert Checkpointer(tmp_path).load_latest().epoch == 3
+
+
+# ----------------------------------------------------------------------
+# Run-registry integration: telemetry and time series survive crashes
+# ----------------------------------------------------------------------
+
+class TestRunRegistryCrashSafety:
+    def test_obs_counters_survive_kill_and_resume(self, splits, tmp_path):
+        """Cumulative health counters ride in the checkpoint manifest.
+
+        A NaN skip in epoch 1 must still be visible after a crash, an
+        ``obs.reset()`` simulating a fresh process, and a resume —
+        otherwise the watchdog's health gate undercounts faults that
+        happened before the last checkpoint.
+        """
+        obs.enable()
+        obs.reset()
+        try:
+            plan = (FaultPlan().nanify_loss_at(0)
+                    .fail_at("trainer.epoch_end", hit=1))
+            with pytest.raises(FaultError), inject(plan):
+                run_to_completion(splits, tmp_path)
+            skipped = obs.snapshot()["counters"]["trainer.nonfinite_skipped"]
+            assert skipped == 1
+            obs.reset()       # fresh process: in-memory telemetry is gone
+            assert "trainer.nonfinite_skipped" not in (
+                obs.snapshot()["counters"])
+            run_to_completion(splits, tmp_path, resume=True)
+            counters = obs.snapshot()["counters"]
+            assert counters["trainer.nonfinite_skipped"] == 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_run_series_contiguous_after_kill_and_resume(self, splits,
+                                                         tmp_path):
+        """Resume reattaches to the crashed run and truncates the replay
+        span, so every global step appears exactly once, in order."""
+        store = RunStore(tmp_path / "runs")
+        writer = store.create(name="killed", config={"case": "contiguity"})
+        # 32 pairs / batch 16 = 2 steps per epoch; hit 3 dies on the
+        # second batch of epoch 2, after steps 0..2 hit the series.
+        with pytest.raises(FaultError):
+            with runstore.recording(writer), \
+                    inject(FaultPlan().fail_at("trainer.loss", hit=3)):
+                run_to_completion(splits, tmp_path / "ckpt")
+        assert store.get(writer.id).status == "failed"
+
+        resumed = store.reattach_incomplete({"case": "contiguity"})
+        assert resumed is not None and resumed.id == writer.id
+        with runstore.recording(resumed):
+            run_to_completion(splits, tmp_path / "ckpt", resume=True)
+        resumed.finish()
+
+        record = store.get(writer.id)
+        assert record.status == "completed"
+        steps, _ = record.channel("loss")
+        assert steps == [float(s) for s in range(6)]
+        # Epoch-level channels land on each epoch's last batch step, so
+        # the kept prefix only ever contains fully validated epochs.
+        assert record.channel("valid_f1")[0] == [1.0, 3.0, 5.0]
+        assert "resume" in [e["name"] for e in record.events()]
 
 
 # ----------------------------------------------------------------------

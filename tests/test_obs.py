@@ -126,6 +126,23 @@ class TestMetrics:
         assert payload["min"] == 0.5 and payload["max"] == 5000
         assert payload["mean"] == pytest.approx(sum((0.5, 1, 5, 50, 500, 5000)) / 6)
 
+    def test_histogram_overflow_bucket_is_explicit(self):
+        """Values past the last bound land in a named overflow bucket."""
+        hist = Histogram((1, 10))
+        for value in (0.5, 5, 50, 500):
+            hist.observe(value)
+        assert hist.overflow == 2
+        payload = hist.as_dict()
+        assert payload["overflow"] == 2
+        assert payload["counts"][-1] == payload["overflow"]
+        # The rendered summary names the overflow bucket explicitly.
+        from repro.obs.metrics import render_metrics
+        registry = MetricsRegistry()
+        registry.observe("h", 0.5, bounds=(1, 10))
+        registry.observe("h", 500, bounds=(1, 10))
+        rendered = render_metrics(registry.snapshot())
+        assert "<=1:1" in rendered and ">10:1" in rendered
+
     def test_histogram_bounds_validated(self):
         with pytest.raises(ValueError):
             Histogram((10, 1))
