@@ -1,0 +1,203 @@
+"""Staged-scoring frontier — cross-encoder vs. dual-encoder vs. cascade.
+
+Trains the cross-encoder EMBA (SB) and the late-interaction dual
+variant on the same split with the dataset's own schedule, calibrates
+the cascade's escalation band on validation, then measures the
+accuracy/speed frontier on a blocking-heavy workload (every record
+recurs in ``PAIRS_PER_RECORD`` candidate pairs, the shape token
+blocking emits).  The acceptance bar: the cascade is at least 3x the
+cross-encoder engine's pairs/sec while giving up no more than 0.01
+test F1.  The cascade may *exceed* the cross-encoder's F1 — the dual
+model handles the confident region and calibration only escalates
+where that loses accuracy on validation.
+
+With ``--record`` the measured frontier is filed as a ``kind="bench"``
+run, gated in CI by ``repro runs check`` against the committed
+``tests/baselines/cascade_bench.json``.
+"""
+
+import numpy as np
+
+from benchmarks.helpers import RESULTS_DIR, record_bench, run_once
+from repro.data.loader import PairEncoder
+from repro.data.registry import load_dataset
+from repro.data.schema import EntityPair
+from repro.engine import CascadeScorer, EngineConfig, InferenceEngine
+from repro.eval.efficiency import (
+    measure_cascade_throughput,
+    measure_engine_throughput,
+)
+from repro.eval.metrics import binary_f1
+from repro.eval.reporting import format_table
+from repro.experiments.config import MODEL_SPECS, RunSpec, training_schedule
+from repro.experiments.runner import _build_encoder, _build_model, _tokenizer_for
+from repro.models import TrainConfig, Trainer
+
+DATASET, SIZE = "wdc_computers", "small"
+FULL_MODEL, CHEAP_MODEL = "emba_sb", "emba_dual_sb"
+PRETRAIN_STEPS = 60         # shared mini-BERT MLM steps (disk-cached)
+PAIRS_PER_RECORD = 4        # blocking-heavy: every record recurs this often
+MAX_RECORDS_PER_SIDE = 80
+BATCH_SIZE = 32
+
+
+def _train_stage(name: str, tokenizer, dataset, train, valid):
+    """Fine-tune one named model with the dataset's own schedule."""
+    schedule = training_schedule(DATASET, SIZE)
+    spec = RunSpec(dataset=DATASET, model=name, size=SIZE, seed=0,
+                   pretrain_steps=PRETRAIN_STEPS, epochs=schedule["epochs"],
+                   patience=schedule["patience"],
+                   learning_rate=schedule["learning_rate"])
+    model_spec = MODEL_SPECS[name]
+    encoder, hidden = _build_encoder(model_spec.encoder, spec, tokenizer,
+                                     dataset)
+    model = _build_model(spec, encoder, hidden, dataset, tokenizer)
+    trainer = Trainer(TrainConfig(
+        epochs=spec.epochs, batch_size=spec.batch_size,
+        learning_rate=spec.learning_rate, patience=spec.patience,
+        seed=spec.seed))
+    result = trainer.fit(model, train, valid)
+    model.eval()
+    return model, result
+
+
+def _blocking_heavy_workload(dataset) -> list[EntityPair]:
+    """Candidate pairs in which every record appears ``PAIRS_PER_RECORD``
+    times — the record-reuse shape that makes the record memo matter."""
+    seen, left, right = set(), [], []
+    for pair in dataset.test + dataset.train:
+        for record, pool in ((pair.record1, left), (pair.record2, right)):
+            key = (record.source, record.attributes)
+            if key not in seen:
+                seen.add(key)
+                pool.append(record)
+    n = min(MAX_RECORDS_PER_SIDE, len(left), len(right))
+    left, right = left[:n], right[:n]
+    pairs = [EntityPair(left[i], right[(i + j) % n], 0)
+             for i in range(n) for j in range(PAIRS_PER_RECORD)]
+    counts: dict = {}
+    for pair in pairs:
+        for record in (pair.record1, pair.record2):
+            key = (record.source, record.attributes)
+            counts[key] = counts.get(key, 0) + 1
+    assert min(counts.values()) >= PAIRS_PER_RECORD
+    return pairs
+
+
+def _run_frontier() -> dict:
+    dataset = load_dataset(DATASET, size=SIZE, seed=0)
+    spec = RunSpec(dataset=DATASET, model=FULL_MODEL, size=SIZE, seed=0)
+    tokenizer = _tokenizer_for(DATASET, SIZE, spec.data_seed, spec.vocab_size)
+    pair_encoder = PairEncoder(tokenizer, max_length=spec.max_length,
+                               style=MODEL_SPECS[FULL_MODEL].style)
+    train = pair_encoder.encode_many(dataset.train, dataset)
+    valid = pair_encoder.encode_many(dataset.valid, dataset)
+    test = pair_encoder.encode_many(dataset.test, dataset)
+
+    full_model, full_fit = _train_stage(FULL_MODEL, tokenizer, dataset,
+                                        train, valid)
+    cheap_model, cheap_fit = _train_stage(CHEAP_MODEL, tokenizer, dataset,
+                                          train, valid)
+
+    config = EngineConfig(batch_size=BATCH_SIZE)
+    full_engine = InferenceEngine(full_model, pair_encoder, config)
+    cheap_engine = InferenceEngine(cheap_model, pair_encoder, config)
+    scorer = CascadeScorer.calibrated(cheap_engine, full_engine, valid,
+                                      tolerance=0.0)
+
+    def test_f1(out):
+        return binary_f1(out["labels"], out["em_pred"])
+
+    f1 = {
+        "cross": test_f1(full_engine.score_encoded(test)),
+        "dual": test_f1(cheap_engine.score_encoded(test)),
+        "cascade": test_f1(scorer.score_encoded(test)),
+    }
+
+    workload = full_engine.encode_pairs(_blocking_heavy_workload(dataset))
+    rates = {
+        "cross": measure_engine_throughput(full_engine, workload,
+                                           min_seconds=1.0),
+        "dual": measure_engine_throughput(cheap_engine, workload,
+                                          min_seconds=1.0),
+        "cascade": measure_cascade_throughput(scorer, workload,
+                                              min_seconds=1.0),
+    }
+    return {
+        "dataset": DATASET, "size": SIZE,
+        "full_model": FULL_MODEL, "cheap_model": CHEAP_MODEL,
+        "workload_pairs": len(workload),
+        "best_valid_f1": {"cross": full_fit.best_valid_f1,
+                          "dual": cheap_fit.best_valid_f1},
+        "band": {"low": scorer.band.low, "high": scorer.band.high,
+                 "escalate_valid": scorer.band.escalate_fraction,
+                 "cascade_f1_valid": scorer.band.cascade_f1,
+                 "full_f1_valid": scorer.band.full_f1},
+        "test_f1": f1,
+        "throughput": rates,
+    }
+
+
+def render_frontier(report: dict) -> str:
+    rates = report["throughput"]
+    base = rates["cross"]["pairs_per_second"]
+    rows = []
+    for stage in ("cross", "dual", "cascade"):
+        rate = rates[stage]["pairs_per_second"]
+        rows.append([
+            stage,
+            f"{report['test_f1'][stage] * 100:.2f}",
+            f"{rate:.1f}",
+            f"{rate / base:.2f}x",
+            f"{rates[stage].get('escalate_fraction', float('nan')):.3f}"
+            if stage == "cascade" else "-",
+        ])
+    band = report["band"]
+    title = (f"Cascade frontier — {report['dataset']} {report['size']}, "
+             f"{report['full_model']} vs {report['cheap_model']}, "
+             f"workload {report['workload_pairs']} pairs "
+             f"(each record x{PAIRS_PER_RECORD}); "
+             f"band [{band['low']:.3f}, {band['high']:.3f}] "
+             f"escalates {band['escalate_valid']:.1%} of validation")
+    return format_table(
+        ["stage", "test_f1", "pairs_per_s", "speedup", "escalated"],
+        rows, title=title)
+
+
+def test_cascade_frontier(benchmark, request):
+    report = run_once(benchmark, _run_frontier)
+
+    band = report["band"]
+    f1 = report["test_f1"]
+    rates = report["throughput"]
+    speedup = (rates["cascade"]["pairs_per_second"]
+               / rates["cross"]["pairs_per_second"])
+
+    # Calibration held its contract on validation...
+    assert 0.0 <= band["low"] <= band["high"] <= 1.0
+    assert band["cascade_f1_valid"] >= band["full_f1_valid"] - 1e-12
+    # ...and the frontier holds on test: no more than 0.01 F1 given up,
+    # at >= 3x the cross-encoder engine's throughput.
+    assert f1["cascade"] >= f1["cross"] - 0.01
+    assert speedup >= 3.0
+    # The record memo is what pays for it: steady-state hits on the
+    # blocking-heavy workload.
+    assert rates["cascade"]["cheap_record_hit_rate"] > 0.9
+
+    record_bench(request, "bench-cascade",
+                 em_f1=f1["cascade"],
+                 full_f1=f1["cross"],
+                 dual_f1=f1["dual"],
+                 infer_pairs_per_s=rates["cascade"]["pairs_per_second"],
+                 cross_pairs_per_s=rates["cross"]["pairs_per_second"],
+                 speedup=speedup,
+                 escalate_fraction=rates["cascade"]["escalate_fraction"])
+
+    path = RESULTS_DIR / "cascade_frontier.txt"
+    header = ("Extension: staged scoring stack — cross-encoder vs "
+              "dual-encoder vs calibrated cascade\n")
+    block = render_frontier(report) + "\n"
+    existing = path.read_text() if path.exists() else header
+    # Dedup on the title line: reruns differ only in timing noise.
+    if block.splitlines()[0] not in existing:
+        path.write_text(existing + block)

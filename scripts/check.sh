@@ -2,9 +2,11 @@
 # Repo check: tier-1 tests, the numerical verify stage (slow-marked
 # sweeps + `repro selfcheck`), the crash-recovery suite under runtime
 # invariants, the inference-engine benchmark smoke, the telemetry (obs)
-# suite + overhead bench, and the run-registry stage (registry suite,
+# suite + overhead bench, the run-registry stage (registry suite,
 # recording/probe overhead bench, and a seeded smoke run gated against
-# the committed baseline by the `repro runs check` watchdog).
+# the committed baseline by the `repro runs check` watchdog), and the
+# cascade stage (staged-scoring suite + frontier bench, gated against
+# tests/baselines/cascade_bench.json for F1 and throughput regressions).
 #
 #   bash scripts/check.sh
 #
@@ -39,9 +41,17 @@ echo "== runs: registry suite + recording/probe overhead bench =="
 python -m pytest -q tests/test_runs.py
 python -m pytest -q benchmarks/bench_ext_runs.py
 
-echo "== runs: seeded smoke run vs committed baseline (watchdog) =="
 RUNS_TMP="$(mktemp -d)"
 trap 'rm -rf "$RUNS_TMP"' EXIT
+
+echo "== cascade: staged-scoring suite + frontier bench vs baseline =="
+python -m pytest -q tests/test_cascade.py
+REPRO_RUNS_DIR="$RUNS_TMP" python -m pytest -q benchmarks/bench_cascade.py --record
+REPRO_RUNS_DIR="$RUNS_TMP" python -m repro.cli runs check bench-cascade \
+    --baseline tests/baselines/cascade_bench.json \
+    --f1-tol 0.02 --throughput-tol 0.5
+
+echo "== runs: seeded smoke run vs committed baseline (watchdog) =="
 REPRO_RUNS_DIR="$RUNS_TMP" python -m repro.cli run \
     --dataset wdc_computers --size small --model emba_ft \
     --profile smoke --epochs 10 --seed 1 --no-cache --name watchdog-smoke
@@ -52,3 +62,4 @@ echo "== results =="
 cat results/ext_engine.txt
 cat results/ext_obs.txt
 cat results/ext_runs.txt
+cat results/cascade_frontier.txt

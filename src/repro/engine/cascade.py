@@ -1,0 +1,183 @@
+"""Staged scoring: a calibrated cheap->full inference cascade.
+
+``CascadeScorer`` routes every pair through a *cheap* engine first
+(typically a late-interaction :class:`~repro.models.EmbaDual` whose
+record encodes the engine memoizes) and escalates only the uncertain
+band — cheap probabilities inside ``[low, high]`` — to a *full*
+cross-encoder engine.  Confident cheap scores are decided immediately:
+``p < low`` is a non-match, ``p > high`` a match.
+
+The band is not a guess: :func:`repro.eval.threshold.calibrate_cascade_band`
+picks it on validation data as the fewest-escalations band whose
+cascaded F1 stays within a stated tolerance of scoring every pair with
+the full model, and :meth:`CascadeScorer.calibrated` wires that up.
+
+The two engines keep separate caches — the engine memo keys are scoped
+by encoder fingerprint (:func:`repro.engine.memo.encoder_fingerprint`),
+so the cascade's two encoders can never collide even when they share a
+tokenizer and hidden size.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.engine.core import InferenceEngine
+from repro.engine.stats import EngineStats
+from repro.eval.threshold import (
+    CascadeBand,
+    calibrate_cascade_band,
+    cascade_predictions,
+)
+
+
+@dataclass(frozen=True)
+class CascadeStats:
+    """Snapshot of one scorer's cumulative routing behaviour."""
+
+    pairs_scored: int = 0
+    escalated: int = 0
+    wall_seconds: float = 0.0
+    cheap: EngineStats = field(default_factory=EngineStats)
+    full: EngineStats = field(default_factory=EngineStats)
+
+    @property
+    def escalate_fraction(self) -> float:
+        return self.escalated / self.pairs_scored if self.pairs_scored else 0.0
+
+    @property
+    def pairs_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.pairs_scored / self.wall_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "pairs_scored": self.pairs_scored,
+            "escalated": self.escalated,
+            "escalate_fraction": self.escalate_fraction,
+            "wall_seconds": self.wall_seconds,
+            "pairs_per_second": self.pairs_per_second,
+            "cheap": self.cheap.as_dict(),
+            "full": self.full.as_dict(),
+        }
+
+
+class CascadeScorer:
+    """Score pairs through a cheap engine, escalating an uncertain band.
+
+    Parameters
+    ----------
+    cheap, full:
+        Configured :class:`InferenceEngine` instances.  The cheap
+        engine's probabilities route; the full engine's decide inside
+        the band.  Both engines see the same ``EncodedPair`` inputs, so
+        their models must share a serialization style and tokenizer.
+    band:
+        The escalation band, usually from
+        :func:`~repro.eval.threshold.calibrate_cascade_band`.
+    threshold:
+        Decision threshold applied to full-model probabilities inside
+        the band (cheap decisions are fixed by the band itself).
+    """
+
+    def __init__(self, cheap: InferenceEngine, full: InferenceEngine,
+                 band: CascadeBand, threshold: float = 0.5):
+        self.cheap = cheap
+        self.full = full
+        self.band = band
+        self.threshold = threshold
+        self._pairs_scored = 0
+        self._escalated = 0
+        self._wall_seconds = 0.0
+
+    @classmethod
+    def calibrated(cls, cheap: InferenceEngine, full: InferenceEngine,
+                   encoded_valid: Sequence, *, tolerance: float = 0.01,
+                   threshold: float = 0.5) -> "CascadeScorer":
+        """Build a scorer with its band calibrated on validation pairs."""
+        with obs.span("cascade.calibrate", pairs=len(encoded_valid)):
+            cheap_out = cheap.score_encoded(encoded_valid)
+            full_out = full.score_encoded(encoded_valid)
+            band = calibrate_cascade_band(
+                cheap_out["labels"], cheap_out["em_prob"],
+                full_out["em_prob"], tolerance=tolerance,
+                threshold=threshold)
+        return cls(cheap, full, band, threshold)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score_encoded(self, encoded: Sequence) -> dict[str, np.ndarray]:
+        """Score pre-encoded pairs; same keys as the engines, plus
+        ``escalated`` (bool mask of pairs the full model decided)."""
+        n = len(encoded)
+        start = time.perf_counter()
+        with obs.span("cascade.cheap", pairs=n):
+            out = dict(self.cheap.score_encoded(encoded))
+        cheap_prob = out["em_prob"]
+        escalated = ((cheap_prob >= self.band.low)
+                     & (cheap_prob <= self.band.high)
+                     & ~out["quarantined"])
+        rows = np.nonzero(escalated)[0]
+        full_prob = np.zeros(n, dtype=np.float64)
+        if rows.size:
+            with obs.span("cascade.full", pairs=int(rows.size)):
+                full_out = self.full.score_encoded([encoded[i] for i in rows])
+            full_prob[rows] = full_out["em_prob"]
+            out["quarantined"] = out["quarantined"].copy()
+            out["quarantined"][rows] |= full_out["quarantined"]
+            # Inside the band the full model's view supersedes the
+            # cheap one's, for the auxiliary ID heads too.
+            for key in ("id1_pred", "id2_pred"):
+                if key in out and key in full_out:
+                    merged = out[key].copy()
+                    merged[rows] = full_out[key]
+                    out[key] = merged
+        preds, _ = cascade_predictions(cheap_prob, full_prob,
+                                       self.band.low, self.band.high,
+                                       self.threshold)
+        out["em_pred"] = preds
+        out["em_prob"] = np.where(escalated, full_prob,
+                                  cheap_prob).astype(np.float32)
+        out["cheap_prob"] = cheap_prob
+        out["escalated"] = escalated
+        self._pairs_scored += n
+        self._escalated += int(rows.size)
+        self._wall_seconds += time.perf_counter() - start
+        if obs.enabled():
+            stats = self.stats
+            obs.inc("cascade.pairs_scored", n)
+            obs.inc("cascade.escalated", int(rows.size))
+            obs.gauge("cascade.escalate_fraction", stats.escalate_fraction)
+            obs.gauge("cascade.pairs_per_second", stats.pairs_per_second)
+        return out
+
+    def score_pairs(self, pairs: Sequence, dataset=None) -> dict[str, np.ndarray]:
+        """Encode (through the cheap engine's memo) then score."""
+        return self.score_encoded(self.cheap.encode_pairs(pairs, dataset))
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CascadeStats:
+        return CascadeStats(
+            pairs_scored=self._pairs_scored,
+            escalated=self._escalated,
+            wall_seconds=self._wall_seconds,
+            cheap=self.cheap.stats,
+            full=self.full.stats,
+        )
+
+    def reset_stats(self) -> None:
+        self._pairs_scored = 0
+        self._escalated = 0
+        self._wall_seconds = 0.0
+        self.cheap.reset_stats()
+        self.full.reset_stats()

@@ -7,7 +7,7 @@ scatter outputs back to the caller's order), guaranteed ``no_grad``
 execution, and an :class:`~repro.engine.stats.EngineStats` record for
 the efficiency experiments.
 
-Two memo levels exploit the redundancy of blocking-shaped workloads,
+Three memo levels exploit the redundancy of blocking-shaped workloads,
 where the same record appears in many candidate pairs:
 
 - serialized-record tokenizations are cached by content digest for any
@@ -16,7 +16,18 @@ where the same record appears in many candidate pairs:
   whose per-token outputs do not depend on surrounding tokens (e.g.
   :class:`~repro.fasttext.model.FastTextEncoder`) — per-record encoder
   activations are cached and stitched into full sequences, skipping the
-  encoder forward entirely on hits.
+  encoder forward entirely on hits;
+- for *late-interaction* models — those marked ``late_interaction``,
+  which encode each record independently and run only a cheap pairwise
+  head at pair time (e.g. :class:`~repro.models.emba_dual.EmbaDual`) —
+  per-record encoder outputs are cached so a record appearing in many
+  candidate pairs pays for exactly one encoder forward, turning
+  O(pairs) forwards into O(records) + the pairwise head.
+
+Every cache key is namespaced by an encoder identity fingerprint (see
+:mod:`repro.engine.memo`), so engines sharing a cache — e.g. the stages
+of a :class:`~repro.engine.cascade.CascadeScorer` — can never collide
+on a record key.
 
 The engine deliberately lives *above* the model layer: models never
 import it, so ``repro.models`` stays importable on its own.
@@ -39,7 +50,14 @@ from repro.data.loader import (
     plan_buckets,
 )
 from repro.data.schema import EMDataset, EntityPair
-from repro.engine.memo import LRUCache, array_digest, text_digest
+from repro.engine.memo import (
+    LRUCache,
+    array_digest,
+    encoder_fingerprint,
+    pair_encoder_fingerprint,
+    scoped_key,
+    text_digest,
+)
 from repro.engine.stats import EngineStats
 from repro import obs
 from repro.runs import store as runstore
@@ -58,8 +76,10 @@ class EngineConfig:
     max_pad_waste: float = 0.25       # bucket cut threshold (fraction padded)
     threshold: float = 0.5            # match decision boundary for em_pred
     encode_cache_size: int = 8192     # record-token LRU entries
-    encoder_cache_size: int = 2048    # record encoder-output LRU entries
+    encoder_cache_size: int = 2048    # span encoder-output LRU entries
+    record_cache_size: int = 4096     # record encoder-output LRU entries
     memoize_encoder: bool = True      # use the encoder memo when decomposable
+    memoize_records: bool = True      # use the record memo when late-interaction
     quarantine: bool = True           # bisect failing batches, isolate poison
     quarantine_score: float = 0.0     # em_prob assigned to quarantined pairs
 
@@ -97,6 +117,13 @@ class InferenceEngine:
         self.config = config or EngineConfig()
         self._token_cache = LRUCache(self.config.encode_cache_size)
         self._output_cache = LRUCache(self.config.encoder_cache_size)
+        self._record_cache = LRUCache(self.config.record_cache_size)
+        self._memo_by_encoder: dict[str, dict[str, dict[str, int]]] = {}
+        # Identity fingerprints namespacing every cache key; computed
+        # lazily once (they hash the encoder weights) and assumed stable
+        # for the engine's lifetime, like the memo contents themselves.
+        self._model_fp: str | None = None
+        self._pair_encoder_fp: str | None = None
         self._pairs_scored = 0
         self._batches = 0
         self._token_cells = 0
@@ -120,8 +147,14 @@ class InferenceEngine:
             encode_misses=self._token_cache.misses,
             encoder_hits=self._output_cache.hits,
             encoder_misses=self._output_cache.misses,
+            record_hits=self._record_cache.hits,
+            record_misses=self._record_cache.misses,
             wall_seconds=self._wall_seconds,
             quarantined=self._quarantined,
+            memo_by_encoder={
+                label: {cache: dict(counts) for cache, counts in caches.items()}
+                for label, caches in self._memo_by_encoder.items()
+            },
         )
 
     @property
@@ -144,14 +177,38 @@ class InferenceEngine:
         self._quarantine_log = []
         self._token_cache.hits = self._token_cache.misses = 0
         self._output_cache.hits = self._output_cache.misses = 0
+        self._record_cache.hits = self._record_cache.misses = 0
+        self._memo_by_encoder = {}
+
+    # ------------------------------------------------------------------
+    # Cache identity (encoder-scoped keys, per-encoder counters)
+    # ------------------------------------------------------------------
+    def model_fingerprint(self) -> str:
+        """Identity of the model's encoder (or the model itself)."""
+        if self._model_fp is None:
+            target = getattr(self.model, "encoder", None) or self.model
+            self._model_fp = encoder_fingerprint(target)
+        return self._model_fp
+
+    def encode_fingerprint(self) -> str:
+        """Identity of the pair encoder (tokenizer + style + budget)."""
+        if self._pair_encoder_fp is None:
+            self._pair_encoder_fp = pair_encoder_fingerprint(self.encoder)
+        return self._pair_encoder_fp
+
+    def _count_memo(self, label: str, cache: str, hit: bool) -> None:
+        counter = self._memo_by_encoder.setdefault(label, {}).setdefault(
+            cache, {"hits": 0, "misses": 0})
+        counter["hits" if hit else "misses"] += 1
 
     # ------------------------------------------------------------------
     # Encoding (record-token memo)
     # ------------------------------------------------------------------
     def _cached_record_tokens(self, record) -> tuple[str, ...]:
         text = self.encoder.record_text(record)
-        key = text_digest(text)
+        key = scoped_key(self.encode_fingerprint(), text_digest(text))
         cached = self._token_cache.get(key)
+        self._count_memo(self.encode_fingerprint(), "token", cached is not None)
         if cached is None:
             cached = tuple(self.encoder.tokenizer.tokenize(text))
             self._token_cache.put(key, cached)
@@ -250,9 +307,13 @@ class InferenceEngine:
         obs.gauge("engine.pad_waste_ratio", stats.pad_waste_ratio)
         obs.gauge("engine.encode_hit_rate", stats.encode_hit_rate)
         obs.gauge("engine.encoder_hit_rate", stats.encoder_hit_rate)
+        obs.gauge("engine.record_hit_rate", stats.record_hit_rate)
         obs.gauge("engine.pairs_per_second", stats.pairs_per_second)
         obs.gauge("engine.batches", stats.batches)
         obs.gauge("engine.quarantined", stats.quarantined)
+        for label, caches in stats.encoder_hit_rates().items():
+            for cache, rate in caches.items():
+                obs.gauge(f"engine.memo.{label}.{cache}_hit_rate", rate)
 
     def _score_rows(self, index: np.ndarray, encoded: Sequence[EncodedPair],
                     scatter, quarantined_rows: list[int]) -> None:
@@ -320,7 +381,7 @@ class InferenceEngine:
         return self.score_pairs(pairs, dataset)["em_prob"]
 
     # ------------------------------------------------------------------
-    # Forward (record encoder-output memo for decomposable encoders)
+    # Forward (record-level encoder-output memoization)
     # ------------------------------------------------------------------
     def _memoizable_encoder(self) -> Module | None:
         encoder = getattr(self.model, "encoder", None)
@@ -330,7 +391,19 @@ class InferenceEngine:
             return encoder
         return None
 
+    def _late_interaction_model(self):
+        model = self.model
+        if (self.config.memoize_records
+                and getattr(model, "late_interaction", False)
+                and callable(getattr(model, "record_rows", None))
+                and callable(getattr(model, "encode_records", None))
+                and callable(getattr(model, "forward_pairwise", None))):
+            return model
+        return None
+
     def _forward(self, batch: Batch, chunk: Sequence[EncodedPair]):
+        if self._late_interaction_model() is not None:
+            return self._late_interaction_forward(batch)
         encoder = self._memoizable_encoder()
         if encoder is None:
             return self.model(batch)
@@ -342,6 +415,49 @@ class InferenceEngine:
         finally:
             self.model.encoder = real
 
+    def _late_interaction_forward(self, batch: Batch):
+        """Score one batch through the record memo + pairwise head.
+
+        Each record of every pair is resolved against the record-output
+        cache (keys scoped by encoder fingerprint); only cache misses go
+        through the encoder, batched together, before the model's
+        pairwise head (AoA + EM/ID heads for EMBA) runs on the stitched
+        sequence.  The per-record outputs are padding-deterministic (see
+        :meth:`repro.models.emba_dual.EmbaDual.encode_records`), so hit
+        and miss paths produce bit-identical scores.
+        """
+        model = self.model
+        fp = self.model_fingerprint()
+        rows = model.record_rows(batch)
+        pending: dict[str, np.ndarray] = {}
+        resolved: dict[str, np.ndarray] = {}
+        keys: list[str] = []
+        for ids in rows:
+            key = scoped_key(fp, array_digest(ids))
+            keys.append(key)
+            if key in resolved or key in pending:
+                # Shared within this batch: the encoder work is reused
+                # even if the entry was only just queued.
+                self._record_cache.hits += 1
+                self._count_memo(fp, "record", True)
+                continue
+            value = self._record_cache.get(key)
+            self._count_memo(fp, "record", value is not None)
+            if value is not None:
+                resolved[key] = value
+            else:
+                pending[key] = ids
+        if pending:
+            miss_keys = list(pending)
+            with obs.span("engine.record_encode", records=len(miss_keys)):
+                outputs = model.encode_records([pending[k] for k in miss_keys])
+            for key, output in zip(miss_keys, outputs):
+                value = np.ascontiguousarray(output.data)
+                resolved[key] = value
+                self._record_cache.put(key, value)
+        parts = [Tensor(resolved[key]) for key in keys]
+        return model.forward_pairwise(parts, batch)
+
     def _span_output(self, ids: np.ndarray, counted: bool,
                      pending: dict[str, np.ndarray],
                      resolved: dict[str, np.ndarray]) -> str:
@@ -352,15 +468,19 @@ class InferenceEngine:
         ``resolved`` pins every span needed by the current batch so LRU
         eviction mid-batch cannot drop it.
         """
-        key = array_digest(ids)
+        fp = self.model_fingerprint()
+        key = scoped_key(fp, array_digest(ids))
         if key in resolved or key in pending:
             if counted:
                 # Shared within this batch: the encoder work is reused
                 # even if the entry was only just queued.
                 self._output_cache.hits += 1
+                self._count_memo(fp, "span", True)
             return key
         value = (self._output_cache.get(key) if counted
                  else self._output_cache.peek(key))
+        if counted:
+            self._count_memo(fp, "span", value is not None)
         if value is not None:
             resolved[key] = value
         else:

@@ -73,6 +73,13 @@ MODEL_SPECS: dict[str, ModelSpec] = {
     "jointbert_ct": ModelSpec("jointbert_ct", "mini-base"),
     "emba_cls": ModelSpec("emba_cls", "mini-base"),
     "emba_surfcon": ModelSpec("emba_surfcon", "mini-base"),
+    # Extension: late-interaction (dual-encoder) EMBA — records encoded
+    # independently, only AoA + heads at pair time; the engine memoizes
+    # per-record outputs so blocking-shaped workloads pay O(records)
+    # encoder forwards instead of O(pairs).
+    "emba_dual": ModelSpec("emba_dual", "mini-base"),
+    "emba_dual_sb": ModelSpec("emba_dual", "mini-small"),
+    "emba_dual_ft": ModelSpec("emba_dual", "fasttext"),
     # Extension: the paper's "naive padding" negative result as a model.
     "emba_unmasked_aoa": ModelSpec("emba_unmasked", "mini-base"),
     # Extension: the paper's Sec. 5 preliminary 'description structures

@@ -43,6 +43,7 @@ from repro.models import (
     Ditto,
     Emba,
     EmbaCls,
+    EmbaDual,
     EmbaSurfCon,
     JointBert,
     JointBertCT,
@@ -112,6 +113,8 @@ def _build_model(spec: RunSpec, encoder, hidden: int, dataset: EMDataset,
         return Emba(encoder, hidden, classes, rng)
     if kind == "emba_unmasked":
         return Emba(encoder, hidden, classes, rng, masked_aoa=False)
+    if kind == "emba_dual":
+        return EmbaDual(encoder, hidden, classes, rng)
     if kind == "emba_cls":
         return EmbaCls(encoder, hidden, classes, rng)
     if kind == "emba_surfcon":

@@ -6,6 +6,8 @@ class                     paper reference
 ``Emba``                  the proposed model (token-rep ID heads + AoA EM head)
 ``EmbaCls``               ablation: [CLS] aux heads + AoA EM head (EMBA-CLS)
 ``EmbaSurfCon``           ablation: SurfCon context matcher instead of AoA
+``EmbaDual``              late-interaction variant: independent record
+                          encodes + AoA pair head (engine-cacheable)
 ``JointBert``             Peeters & Bizer's dual-objective baseline
 ``JointBertS``            ablation: [SEP] token for the 2nd ID task
 ``JointBertT``            ablation: averaged token reps for all tasks
@@ -27,6 +29,7 @@ from repro.models.base import EMModel, EMOutput
 from repro.models.deepmatcher import DeepMatcher
 from repro.models.ditto import Ditto
 from repro.models.emba import Emba, EmbaCls, EmbaSurfCon
+from repro.models.emba_dual import EmbaDual
 from repro.models.jointbert import JointBert, JointBertCT, JointBertS, JointBertT
 from repro.models.jointmatcher import JointMatcher
 from repro.models.selftraining import SelfTrainingResult, self_train
@@ -45,6 +48,7 @@ __all__ = [
     "EarlyStopping",
     "Emba",
     "EmbaCls",
+    "EmbaDual",
     "EmbaSurfCon",
     "JointBert",
     "JointBertCT",

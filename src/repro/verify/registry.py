@@ -132,6 +132,7 @@ LAYER_MODULES = (
     "repro.models.heads",
     "repro.models.surfcon",
     "repro.models.emba",
+    "repro.models.emba_dual",
     "repro.models.jointbert",
     "repro.models.single_task",
     "repro.models.ditto",
@@ -842,6 +843,8 @@ def _deepmatcher_factory(rng):
 
 
 _register_model("models.Emba", "repro.models.emba.Emba", _emba_factory(True))
+_register_model("models.EmbaDual", "repro.models.emba_dual.EmbaDual",
+                _simple_factory("EmbaDual"))
 _register_model("models.EmbaCls", "repro.models.emba.EmbaCls",
                 _simple_factory("EmbaCls"))
 _register_model("models.EmbaSurfCon", "repro.models.emba.EmbaSurfCon",
