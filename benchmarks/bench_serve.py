@@ -1,0 +1,286 @@
+"""Serving overhead — ``repro serve`` vs. direct engine calls.
+
+Launches the real daemon as a CLI subprocess (the exact artifact an
+operator runs), drives it to batch saturation over the newline-JSON
+protocol with precomputed request frames, and compares the sustained
+served rate against the same engine scored directly in-process on the
+same blocking-heavy workload.  The acceptance bar: at saturating load
+the daemon keeps at least ``MIN_SERVE_RATIO`` of the raw engine's
+pairs/sec, every served score is bit-identical to direct scoring, and
+nothing is rejected (the queue is sized for the offered load).
+
+Measurement notes, learned the hard way on this box:
+
+- the container is **single-core** (``nproc`` = 1), so the daemon, its
+  scoring thread, and the load generator all time-slice one CPU.  The
+  serving "overhead" measured here therefore *includes* the client's
+  share of the core — it is the most pessimistic accounting.
+- back-to-back raw-then-served phases produced ratios from 0.53 to
+  0.92 run-to-run because background load drifts on this host.  The
+  two paths are therefore measured in short **interleaved A/B slices**
+  so drift lands on both sides; that brought the spread down to a few
+  percent.
+- ``--max-batch`` is deliberately larger than the engine's internal
+  ``batch_size``: the engine splits oversized calls at ``batch_size``
+  itself, so numerics are unchanged, but per-call overhead (and the
+  per-batch executor handoff) amortizes over more pairs.
+
+Saturated-phase latency percentiles are queue-depth-dominated and say
+nothing about interactive use, so a separate low-load probe measures
+single-request round-trip times (which include the micro-batcher's
+``max_delay`` wait).
+
+With ``--record`` the measurement is filed as a ``kind="bench"`` run,
+gated in CI by ``repro runs check`` against the committed
+``tests/baselines/serve_bench.json``.
+"""
+
+import dataclasses
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+
+from benchmarks.helpers import RESULTS_DIR, record_bench, run_once
+from repro.data.loader import PairEncoder
+from repro.data.registry import load_dataset
+from repro.data.schema import EntityPair
+from repro.engine import EngineConfig, InferenceEngine
+from repro.eval.reporting import format_table
+from repro.experiments.config import MODEL_SPECS, PROFILES, spec_for
+from repro.experiments.runner import _build_encoder, _build_model, _tokenizer_for
+from repro.serve import ServeClient
+
+DATASET, SIZE = "wdc_computers", "small"
+MODEL = "emba_dual_sb"
+PRETRAIN_STEPS = 60         # shared mini-BERT MLM steps (disk-cached)
+PAIRS_PER_RECORD = 4        # blocking-heavy: every record recurs this often
+MAX_RECORDS_PER_SIDE = 80
+BATCH_SIZE = 32             # engine-internal micro-batch (both paths)
+MAX_BATCH = 128             # daemon cut size (split at BATCH_SIZE inside)
+MAX_DELAY_MS = 4.0
+MAX_QUEUE = 8192            # holds a full saturation slice without rejects
+SLICES = 6                  # interleaved A/B measurement slices
+RAW_ROUNDS_PER_SLICE = 2
+SERVED_ROUNDS_PER_SLICE = 4
+RTT_PROBES = 40             # low-load single-request latency probe
+MIN_SERVE_RATIO = 0.70      # hard floor; observed ~0.80-0.86 (see above)
+
+
+def _build_direct_engine():
+    """The served model's offline twin, built the way ``repro serve``
+    builds it (same deterministic path, so scores must match bitwise)."""
+    spec = dataclasses.replace(
+        spec_for(DATASET, SIZE, MODEL, 0, PROFILES["quick"]),
+        pretrain_steps=PRETRAIN_STEPS)
+    dataset = load_dataset(DATASET, size=SIZE, seed=spec.data_seed)
+    tokenizer = _tokenizer_for(DATASET, SIZE, spec.data_seed, spec.vocab_size)
+    pair_encoder = PairEncoder(tokenizer, max_length=spec.max_length,
+                               style=MODEL_SPECS[MODEL].style)
+    encoder, hidden = _build_encoder(MODEL_SPECS[MODEL].encoder, spec,
+                                     tokenizer, dataset)
+    model = _build_model(spec, encoder, hidden, dataset, tokenizer)
+    model.eval()
+    engine = InferenceEngine(model, pair_encoder,
+                             EngineConfig(batch_size=BATCH_SIZE,
+                                          threshold=0.5))
+    return engine, dataset
+
+
+def _blocking_heavy_workload(dataset) -> list[EntityPair]:
+    """Candidate pairs in which every record appears ``PAIRS_PER_RECORD``
+    times — the record-reuse shape that makes the record memo matter."""
+    seen, left, right = set(), [], []
+    for pair in dataset.test + dataset.train:
+        for record, pool in ((pair.record1, left), (pair.record2, right)):
+            key = (record.source, record.attributes)
+            if key not in seen:
+                seen.add(key)
+                pool.append(record)
+    n = min(MAX_RECORDS_PER_SIDE, len(left), len(right))
+    left, right = left[:n], right[:n]
+    return [EntityPair(left[i], right[(i + j) % n], 0)
+            for i in range(n) for j in range(PAIRS_PER_RECORD)]
+
+
+def _spawn_daemon(port: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = os.path.join(root, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--dataset", DATASET, "--size", SIZE, "--model", MODEL,
+         "--port", str(port), "--max-batch", str(MAX_BATCH),
+         "--max-delay-ms", str(MAX_DELAY_MS), "--max-queue", str(MAX_QUEUE)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True)
+    banner = proc.stdout.readline()          # blocks until the port is live
+    assert "serving" in banner, f"daemon failed to start: {banner!r}"
+    return proc
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _request_frames(pairs: list[EntityPair], rounds: int) -> list[bytes]:
+    """Precomputed wire frames so the load generator spends its share of
+    the single core on the socket, not on ``json.dumps``."""
+    frames = []
+    for rnd in range(rounds):
+        for i, pair in enumerate(pairs):
+            request = {"op": "match", "id": rnd * len(pairs) + i,
+                       "left": dict(pair.record1.attributes),
+                       "right": dict(pair.record2.attributes)}
+            frames.append(json.dumps(
+                request, separators=(",", ":")).encode() + b"\n")
+    return frames
+
+
+def _run_serve_bench() -> dict:
+    engine, dataset = _build_direct_engine()
+    pairs = _blocking_heavy_workload(dataset)
+    per_round = len(pairs)
+
+    engine.score_pairs(pairs)                        # warm the record memo
+    direct = [float(p) for p in engine.score_pairs(pairs)["em_prob"]]
+
+    port = _free_port()
+    proc = _spawn_daemon(port)
+    try:
+        # --- bitwise parity: one full round through the wire ---------
+        with ServeClient("127.0.0.1", port) as client:
+            responses = client.match_many(
+                [(dict(p.record1.attributes), dict(p.record2.attributes))
+                 for p in pairs])
+            parity_mismatches = sum(
+                1 for i, response in enumerate(responses)
+                if response.get("score") != direct[i])
+
+            # --- low-load latency probe (one request at a time) ------
+            rtts = []
+            probe = [(dict(p.record1.attributes), dict(p.record2.attributes))
+                     for p in pairs[:RTT_PROBES]]
+            for left, right in probe:
+                t0 = time.perf_counter()
+                client.match(left, right)
+                rtts.append((time.perf_counter() - t0) * 1e3)
+            rtts.sort()
+
+        # --- interleaved A/B throughput slices -----------------------
+        conn = socket.create_connection(("127.0.0.1", port))
+        reader = conn.makefile("rb")
+        frames = _request_frames(pairs, SERVED_ROUNDS_PER_SLICE)
+        blob = b"".join(frames)
+        raw_time = raw_pairs = 0.0
+        served_time = served_pairs = 0.0
+        for _ in range(SLICES):
+            t0 = time.perf_counter()
+            for _ in range(RAW_ROUNDS_PER_SLICE):
+                engine.score_pairs(pairs)
+            raw_time += time.perf_counter() - t0
+            raw_pairs += RAW_ROUNDS_PER_SLICE * per_round
+
+            t0 = time.perf_counter()
+            conn.sendall(blob)                       # full saturation
+            for _ in range(len(frames)):
+                reader.readline()
+            served_time += time.perf_counter() - t0
+            served_pairs += len(frames)
+        conn.close()
+
+        with ServeClient("127.0.0.1", port) as client:
+            stats = client.stats()
+            client.request({"op": "shutdown"})
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    raw_rate = raw_pairs / raw_time
+    served_rate = served_pairs / served_time
+    return {
+        "dataset": DATASET, "size": SIZE, "model": MODEL,
+        "workload_pairs": per_round,
+        "raw_pairs_per_s": raw_rate,
+        "served_pairs_per_s": served_rate,
+        "serve_ratio": served_rate / raw_rate,
+        "parity_mismatches": parity_mismatches,
+        "rtt_p50_ms": rtts[len(rtts) // 2],
+        "rtt_p99_ms": rtts[min(len(rtts) - 1, int(0.99 * (len(rtts) - 1)))],
+        "saturated_p50_ms": stats["latency_p50_ms"],
+        "saturated_p99_ms": stats["latency_p99_ms"],
+        "mean_batch_size": stats["mean_batch_size"],
+        "peak_queue_depth": max(w["peak_depth"] for w in stats["workers"]),
+        "rejected": stats["rejected"],
+        "errors": stats["errors"],
+    }
+
+
+def render_serve(report: dict) -> str:
+    rows = [
+        ["direct engine", f"{report['raw_pairs_per_s']:.1f}", "1.00x",
+         "-", "-", "-"],
+        ["served, saturated", f"{report['served_pairs_per_s']:.1f}",
+         f"{report['serve_ratio']:.2f}x",
+         f"{report['saturated_p50_ms']:.1f}",
+         f"{report['saturated_p99_ms']:.1f}",
+         str(report["peak_queue_depth"])],
+        ["served, low load", "-", "-",
+         f"{report['rtt_p50_ms']:.1f}",
+         f"{report['rtt_p99_ms']:.1f}", "-"],
+    ]
+    # Keep the title free of measured numbers: reruns dedup on it.
+    title = (f"Serving overhead — {report['model']} on {report['dataset']} "
+             f"{report['size']}, {report['workload_pairs']} pairs/round "
+             f"(each record x{PAIRS_PER_RECORD}); single connection, "
+             f"max_batch={MAX_BATCH}, max_delay={MAX_DELAY_MS:.0f}ms, "
+             f"rejected {report['rejected']}")
+    return format_table(
+        ["path", "pairs_per_s", "vs_direct", "p50_ms", "p99_ms",
+         "peak_queue"],
+        rows, title=title)
+
+
+def test_serve_throughput_and_parity(benchmark, request):
+    report = run_once(benchmark, _run_serve_bench)
+
+    # Every score that crossed the wire matches direct scoring bitwise.
+    assert report["parity_mismatches"] == 0
+    assert report["errors"] == 0
+    # The offered load actually saturated the micro-batcher...
+    assert report["mean_batch_size"] >= BATCH_SIZE
+    assert report["peak_queue_depth"] >= MAX_BATCH
+    # ...without overflowing the admission queue.
+    assert report["rejected"] == 0
+    # Sustained served throughput holds the floor against the raw
+    # engine (observed ~0.80-0.86 on this box; the floor leaves room
+    # for scheduler noise a single core cannot hide from).
+    assert report["serve_ratio"] >= MIN_SERVE_RATIO
+    # The low-load probe reflects the batcher wait, not queue backlog.
+    assert report["rtt_p50_ms"] < 1000.0
+
+    record_bench(request, "bench-serve",
+                 infer_pairs_per_s=report["served_pairs_per_s"],
+                 raw_pairs_per_s=report["raw_pairs_per_s"],
+                 serve_ratio=report["serve_ratio"],
+                 rtt_p50_ms=report["rtt_p50_ms"],
+                 rtt_p99_ms=report["rtt_p99_ms"],
+                 saturated_p50_ms=report["saturated_p50_ms"],
+                 saturated_p99_ms=report["saturated_p99_ms"],
+                 mean_batch_size=report["mean_batch_size"],
+                 peak_queue_depth=report["peak_queue_depth"])
+
+    path = RESULTS_DIR / "serve_bench.txt"
+    header = ("Extension: matching-as-a-service — async daemon with "
+              "micro-batching, measured against the direct engine\n")
+    block = render_serve(report) + "\n"
+    existing = path.read_text() if path.exists() else header
+    # Dedup on the title line: reruns differ only in timing noise.
+    if block.splitlines()[0] not in existing:
+        path.write_text(existing + block)

@@ -4,9 +4,12 @@
 # invariants, the inference-engine benchmark smoke, the telemetry (obs)
 # suite + overhead bench, the run-registry stage (registry suite,
 # recording/probe overhead bench, and a seeded smoke run gated against
-# the committed baseline by the `repro runs check` watchdog), and the
+# the committed baseline by the `repro runs check` watchdog), the
 # cascade stage (staged-scoring suite + frontier bench, gated against
-# tests/baselines/cascade_bench.json for F1 and throughput regressions).
+# tests/baselines/cascade_bench.json for F1 and throughput regressions),
+# and the serve stage (serving test battery + load bench of the
+# `repro serve` daemon, gated against tests/baselines/serve_bench.json
+# for served-throughput regressions).
 #
 #   bash scripts/check.sh
 #
@@ -51,6 +54,13 @@ REPRO_RUNS_DIR="$RUNS_TMP" python -m repro.cli runs check bench-cascade \
     --baseline tests/baselines/cascade_bench.json \
     --f1-tol 0.02 --throughput-tol 0.5
 
+echo "== serve: daemon test battery + load bench vs baseline =="
+python -m pytest -q tests/test_serve.py
+REPRO_RUNS_DIR="$RUNS_TMP" python -m pytest -q benchmarks/bench_serve.py --record
+REPRO_RUNS_DIR="$RUNS_TMP" python -m repro.cli runs check bench-serve \
+    --baseline tests/baselines/serve_bench.json \
+    --f1-tol 0 --throughput-tol 0.5
+
 echo "== runs: seeded smoke run vs committed baseline (watchdog) =="
 REPRO_RUNS_DIR="$RUNS_TMP" python -m repro.cli run \
     --dataset wdc_computers --size small --model emba_ft \
@@ -63,3 +73,4 @@ cat results/ext_engine.txt
 cat results/ext_obs.txt
 cat results/ext_runs.txt
 cat results/cascade_frontier.txt
+cat results/serve_bench.txt

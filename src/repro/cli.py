@@ -14,6 +14,10 @@ Commands
                                naive scoring loop on a blocking workload
 - ``profile-cascade``          time the staged cheap->full cascade against
                                the full engine alone on the same workload
+- ``serve``                    run the matching daemon: newline-delimited
+                               JSON over TCP with micro-batching,
+                               backpressure, and hot-swappable weights
+                               (see docs/operations.md for the runbook)
 - ``selfcheck``                numerical certification: gradcheck sweep,
                                runtime invariants, golden digests, parity
 - ``trace FILE``               render a JSON-lines trace (written via
@@ -159,6 +163,35 @@ def _cmd_profile_cascade(args) -> int:
         low=args.low, high=args.high,
     )
     print(render_cascade_profile(report))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the matching daemon until interrupted (or a shutdown op)."""
+    import time
+
+    from repro.serve import MatchServer, ServeConfig, ServerHandle
+    from repro.serve.scorer import factory_from_spec
+
+    factory = factory_from_spec(
+        args.dataset, args.size, args.model, seed=args.seed,
+        batch_size=args.batch_size, threshold=args.threshold,
+        weights_ref=args.weights, runs_root=args.runs_root or None)
+    config = ServeConfig(
+        host=args.host, port=args.port, max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1000.0, max_queue=args.max_queue,
+        shards=args.shards, runs_root=args.runs_root or None)
+    server = MatchServer(factory, config)
+    with ServerHandle(server) as (host, port):
+        print(f"serving {args.model} ({args.dataset}/{args.size}) "
+              f"on {host}:{port} — shards={args.shards} "
+              f"max_batch={args.max_batch} max_delay={args.max_delay_ms}ms",
+              flush=True)
+        try:
+            while server.running:
+                time.sleep(0.5)
+        except KeyboardInterrupt:
+            pass
     return 0
 
 
@@ -380,6 +413,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help="escalation band upper edge")
     add_trace_flags(cascade)
     cascade.set_defaults(fn=_cmd_profile_cascade)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the matching daemon: newline-delimited JSON over TCP, "
+             "micro-batching, backpressure, hot-swappable weights",
+    )
+    serve.add_argument("--dataset", default="wdc_computers")
+    serve.add_argument("--size", default="small")
+    serve.add_argument("--model", default="emba_dual_sb",
+                       help="served model (late-interaction models keep "
+                            "the hottest record memo)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--weights", default="",
+                       help="run id/name (or 'latest') of published weights "
+                            "to load at startup; default: freshly built model")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7431,
+                       help="TCP port (0 = pick a free one)")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="forked worker processes (0 = score in-process)")
+    serve.add_argument("--batch-size", type=int, default=32,
+                       help="engine forward batch size")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batcher: dispatch at this many pairs")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="micro-batcher: dispatch after this many ms")
+    serve.add_argument("--max-queue", type=int, default=1024,
+                       help="admission queue bound per worker; beyond it "
+                            "requests are rejected as 'overloaded'")
+    serve.add_argument("--threshold", type=float, default=0.5,
+                       help="match decision threshold")
+    serve.add_argument("--runs-root", default="",
+                       help="run store root for --weights and swap ops "
+                            "(default: REPRO_RUNS_DIR or <cache>/runs)")
+    add_trace_flags(serve)
+    serve.set_defaults(fn=_cmd_serve)
 
     trace = sub.add_parser(
         "trace",

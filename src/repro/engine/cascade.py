@@ -162,6 +162,29 @@ class CascadeScorer:
         """Encode (through the cheap engine's memo) then score."""
         return self.score_encoded(self.cheap.encode_pairs(pairs, dataset))
 
+    async def score_encoded_async(self, encoded: Sequence,
+                                  executor=None) -> dict[str, np.ndarray]:
+        """:meth:`score_encoded` off the event loop (serving surface).
+
+        Mirrors :meth:`InferenceEngine.score_encoded_async`: pass a
+        single-thread executor to serialize access to the two stage
+        engines' memo caches.
+        """
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            executor, self.score_encoded, list(encoded))
+
+    async def score_pairs_async(self, pairs: Sequence, dataset=None,
+                                executor=None) -> dict[str, np.ndarray]:
+        """Encode + score off the event loop (serving surface)."""
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            executor, lambda: self.score_pairs(list(pairs), dataset))
+
     # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------

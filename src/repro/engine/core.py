@@ -381,6 +381,35 @@ class InferenceEngine:
         return self.score_pairs(pairs, dataset)["em_prob"]
 
     # ------------------------------------------------------------------
+    # Async entry points (the serving daemon's surface)
+    # ------------------------------------------------------------------
+    async def score_encoded_async(self, encoded: Sequence[EncodedPair],
+                                  executor=None) -> dict[str, np.ndarray]:
+        """:meth:`score_encoded` off the event loop, on ``executor``.
+
+        The engine itself is synchronous CPU-bound code; this entry just
+        keeps an asyncio caller (``repro serve``) responsive while a
+        batch scores.  Callers that need serialized access to one engine
+        (memo caches are not thread-safe) pass a single-thread executor
+        — the serving daemon dedicates one per worker.
+        """
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            executor, self.score_encoded, list(encoded))
+
+    async def score_pairs_async(self, pairs: Sequence[EntityPair],
+                                dataset: EMDataset | None = None,
+                                executor=None) -> dict[str, np.ndarray]:
+        """Encode + :meth:`score_encoded` off the event loop."""
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            executor, lambda: self.score_pairs(list(pairs), dataset))
+
+    # ------------------------------------------------------------------
     # Forward (record-level encoder-output memoization)
     # ------------------------------------------------------------------
     def _memoizable_encoder(self) -> Module | None:

@@ -15,6 +15,11 @@ Sites currently instrumented:
 - ``checkpoint.write``      — hit before a checkpoint's arrays are written
 - ``checkpoint.manifest``   — hit between array write and manifest commit
 - ``runner.train``          — hit before each training attempt of a run
+- ``serve.batch``           — hit in the serving daemon before each
+  micro-batch is dispatched to its worker
+- ``serve.worker_batch``    — hit inside a serving worker (in-process or
+  forked shard) before a batch is scored; :meth:`FaultPlan.kill_at` here
+  kills a shard mid-batch, :meth:`FaultPlan.sleep_at` models a slow shard
 
 :class:`PoisonPairs` covers the other injection mode the engine tests
 need: a model wrapper that raises whenever a scored batch contains one
@@ -90,6 +95,28 @@ class FaultPlan:
 
         return self.mutate_at("trainer.loss", hit,
                               lambda loss: Tensor(np.float32(np.nan)))
+
+    def kill_at(self, site: str, hit: int, code: int = 3) -> "FaultPlan":
+        """Hard-kill the *process* at (site, hit) — ``os._exit``, no
+        cleanup, no exception.  This is the serve-site analogue of
+        ``kill -9``: a shard worker dies mid-batch and the daemon must
+        respawn it and requeue the batch."""
+        import os
+
+        def _kill(value):
+            os._exit(code)
+
+        return self.mutate_at(site, hit, _kill)
+
+    def sleep_at(self, site: str, hit: int, seconds: float) -> "FaultPlan":
+        """Stall for ``seconds`` at (site, hit) — a slow worker/shard."""
+        import time
+
+        def _stall(value):
+            time.sleep(seconds)
+            return value
+
+        return self.mutate_at(site, hit, _stall)
 
     def hits(self, site: str) -> int:
         """How many times ``site`` has been visited under this plan."""

@@ -201,9 +201,20 @@ class RunWriter:
         return len(kept)
 
     # -- artifacts ------------------------------------------------------
-    def add_artifact(self, name: str, content: str | bytes) -> Path:
+    def artifact_dir(self) -> Path:
+        """The run's artifact directory, created on first use.
+
+        For artifacts that are not plain text/bytes (e.g. the npz
+        weights the serving daemon hot-swaps), writers build the file
+        in here themselves instead of going through
+        :meth:`add_artifact`.
+        """
         directory = self.path / "artifacts"
         directory.mkdir(parents=True, exist_ok=True)
+        return directory
+
+    def add_artifact(self, name: str, content: str | bytes) -> Path:
+        directory = self.artifact_dir()
         target = directory / name
         if isinstance(content, bytes):
             target.write_bytes(content)

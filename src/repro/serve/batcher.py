@@ -1,0 +1,105 @@
+"""Dynamic micro-batching with bounded-queue admission control.
+
+:class:`BatchQueue` is the daemon's scheduling core, deliberately free
+of any event loop or thread: callers :meth:`~BatchQueue.offer` items
+(admission — ``False`` means the queue is full and the request must be
+rejected as ``overloaded``) and repeatedly ask :meth:`~BatchQueue.cut`
+"given the time is *now*, is a batch due?".  A batch is due when
+
+- ``max_batch`` items are waiting (cut immediately, size-capped), or
+- the *oldest* waiting item has aged past ``max_delay`` seconds (cut
+  whatever is waiting, FIFO, still size-capped).
+
+The clock is injected, so tests drive deadline behaviour with a fake
+clock instead of sleeping — ``cut`` is a pure function of (queue state,
+now).  The asyncio daemon wraps this in a task that sleeps exactly
+until the deadline ``cut`` reports.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class BatchQueue(Generic[T]):
+    """FIFO admission queue that cuts micro-batches by size or deadline.
+
+    Parameters
+    ----------
+    max_batch:
+        Largest batch ``cut`` will return (= one engine call).
+    max_delay:
+        Seconds the oldest request may wait before a partial batch is
+        cut anyway.  ``0`` cuts as soon as anything is queued.
+    max_queue:
+        Admission bound: :meth:`offer` refuses beyond this depth.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(self, max_batch: int = 32, max_delay: float = 0.005,
+                 max_queue: int = 1024,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.max_queue = max_queue
+        self.clock = clock
+        self._items: deque[tuple[float, T]] = deque()
+        self.offered = 0
+        self.rejected = 0
+        self.peak_depth = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Items currently waiting (not yet cut into a batch)."""
+        return len(self._items)
+
+    def offer(self, item: T, now: float | None = None) -> bool:
+        """Admit one item; ``False`` (and no state change) when full."""
+        self.offered += 1
+        if len(self._items) >= self.max_queue:
+            self.rejected += 1
+            return False
+        self._items.append((self.clock() if now is None else now, item))
+        self.peak_depth = max(self.peak_depth, len(self._items))
+        return True
+
+    def deadline(self) -> float | None:
+        """Absolute time the oldest waiting item must be cut by."""
+        if not self._items:
+            return None
+        return self._items[0][0] + self.max_delay
+
+    def cut(self, now: float | None = None) -> tuple[list[T] | None, float | None]:
+        """``(batch, None)`` when a batch is due, else ``(None, wait)``.
+
+        ``wait`` is the seconds until the pending deadline (``None``
+        when the queue is empty).  Batches preserve arrival order and
+        never exceed ``max_batch``; a size-triggered cut leaves the
+        overflow queued for the next cut.
+        """
+        if not self._items:
+            return None, None
+        now = self.clock() if now is None else now
+        if len(self._items) < self.max_batch and now < self.deadline():
+            return None, self.deadline() - now
+        batch = [self._items.popleft()[1]
+                 for _ in range(min(self.max_batch, len(self._items)))]
+        return batch, None
+
+    def drain(self) -> list[T]:
+        """Remove and return everything still queued (shutdown path)."""
+        items = [item for _, item in self._items]
+        self._items.clear()
+        return items

@@ -1,0 +1,110 @@
+"""A blocking NDJSON client for the matching daemon.
+
+Used by the tests, the load bench, and anyone scripting against
+``repro serve`` from Python.  One socket, pipelining via request ids:
+:meth:`ServeClient.match_many` writes every request before reading any
+response, then reassembles responses into input order by the ``id``
+echo — which is also what makes it safe against the daemon answering
+out of order across shards.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.serve.protocol import decode_response, encode_response
+
+
+class ServeError(RuntimeError):
+    """A structured error response, surfaced as an exception."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class ServeClient:
+    """Synchronous client speaking the serve protocol over one socket."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def send(self, payload: dict) -> None:
+        """Write one request frame without waiting for the response."""
+        self._file.write(encode_response(payload))  # same NDJSON framing
+        self._file.flush()
+
+    def read_response(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_response(line)
+
+    def request(self, payload: dict) -> dict:
+        """One request, one response (no pipelining)."""
+        self.send(payload)
+        return self.read_response()
+
+    # ------------------------------------------------------------------
+    def match(self, left: dict, right: dict) -> dict:
+        """Score one pair; raises :class:`ServeError` on a rejection."""
+        response = self.request({"op": "match", "left": left, "right": right})
+        if "error" in response:
+            raise ServeError(response["error"]["code"],
+                             response["error"]["message"])
+        return response
+
+    def match_many(self, pairs, raise_on_error: bool = False) -> list[dict]:
+        """Pipeline many ``(left, right)`` pairs; responses in input order.
+
+        Overload rejections (and other structured errors) come back as
+        the raw error response unless ``raise_on_error`` is set.
+        """
+        ids = []
+        for left, right in pairs:
+            self._next_id += 1
+            ids.append(self._next_id)
+            self._file.write(encode_response(
+                {"op": "match", "left": left, "right": right,
+                 "id": self._next_id}))
+        self._file.flush()
+        by_id: dict = {}
+        for _ in ids:
+            response = self.read_response()
+            by_id[response.get("id")] = response
+        ordered = [by_id[i] for i in ids]
+        if raise_on_error:
+            for response in ordered:
+                if "error" in response:
+                    raise ServeError(response["error"]["code"],
+                                     response["error"]["message"])
+        return ordered
+
+    def health(self) -> dict:
+        return self.request({"op": "health"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def swap(self, ref: str = "latest") -> dict:
+        response = self.request({"op": "swap", "ref": ref})
+        if "error" in response:
+            raise ServeError(response["error"]["code"],
+                             response["error"]["message"])
+        return response

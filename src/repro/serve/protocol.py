@@ -1,0 +1,206 @@
+"""Wire protocol of the matching service: newline-delimited JSON.
+
+One request per line, one response per line.  Requests are JSON objects
+with an ``"op"`` field::
+
+    {"op": "match", "left": {...}, "right": {...}, "id": 7}
+    {"op": "health"}
+    {"op": "stats"}
+    {"op": "swap", "ref": "latest"}
+
+Responses echo the request's ``"id"`` (when given) and either carry the
+op's payload (``{"score": 0.93, "is_match": true}``) or a structured
+error (``{"error": {"code": "bad_request", "message": ...}}``) — a
+malformed line is *answered*, never allowed to crash the daemon or
+poison the connection.
+
+Everything in this module is pure (bytes in, dataclasses/dicts out), so
+the fuzzing tests exercise it without a socket in sight.  Limits are
+explicit (:class:`ServeLimits`): oversized lines and oversized records
+are rejected with ``too_large`` before any tokenizer sees them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.data.schema import EntityPair, EntityRecord
+
+#: Error codes a client can rely on.
+E_BAD_JSON = "bad_json"          # line is not a JSON object
+E_BAD_REQUEST = "bad_request"    # JSON object, but fields are wrong
+E_UNKNOWN_OP = "unknown_op"      # "op" value not recognized
+E_TOO_LARGE = "too_large"        # line or record over the configured limit
+E_OVERLOADED = "overloaded"      # admission queue full; retry later
+E_INTERNAL = "internal"          # scoring failed after retries
+E_SWAP_FAILED = "swap_failed"    # weights could not be resolved/loaded
+
+OPS = ("match", "health", "stats", "swap", "shutdown")
+
+
+@dataclass(frozen=True)
+class ServeLimits:
+    """Input bounds enforced before a request reaches the batcher."""
+
+    max_line_bytes: int = 64 * 1024     # one NDJSON frame
+    max_attributes: int = 64            # attributes per record
+    max_value_chars: int = 4096         # characters per attribute value
+
+
+class ProtocolError(ValueError):
+    """A rejected request, carrying its structured error code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+    def response(self, request_id=None) -> dict:
+        return error_response(self.code, self.message, request_id)
+
+
+@dataclass(frozen=True)
+class Request:
+    """A validated request frame."""
+
+    op: str
+    id: object = None                  # client correlation token, echoed back
+    left: EntityRecord | None = None   # match
+    right: EntityRecord | None = None  # match
+    ref: str = "latest"                # swap
+    raw: dict = field(default_factory=dict, repr=False)
+
+    def pair(self) -> EntityPair:
+        return EntityPair(self.left, self.right, 0)
+
+
+def _coerce_record(value, side: str, limits: ServeLimits) -> EntityRecord:
+    """Validate one ``left``/``right`` payload into an :class:`EntityRecord`.
+
+    Accepts either a flat attribute mapping or ``{"attributes": {...},
+    "entity_id": ..., "source": ...}``.  Scalar attribute values are
+    coerced to strings; anything structured is rejected.
+    """
+    if not isinstance(value, dict):
+        raise ProtocolError(E_BAD_REQUEST,
+                            f"{side!r} must be a JSON object of attributes")
+    entity_id, source = None, ""
+    attributes = value
+    if "attributes" in value:
+        attributes = value["attributes"]
+        if not isinstance(attributes, dict):
+            raise ProtocolError(E_BAD_REQUEST,
+                                f"{side}.attributes must be a JSON object")
+        entity_id = value.get("entity_id")
+        source = value.get("source", "")
+        if entity_id is not None and not isinstance(entity_id, str):
+            raise ProtocolError(E_BAD_REQUEST,
+                                f"{side}.entity_id must be a string")
+        if not isinstance(source, str):
+            raise ProtocolError(E_BAD_REQUEST, f"{side}.source must be a string")
+    if len(attributes) > limits.max_attributes:
+        raise ProtocolError(
+            E_TOO_LARGE, f"{side} has {len(attributes)} attributes "
+            f"(limit {limits.max_attributes})")
+    coerced: dict[str, str] = {}
+    for key, val in attributes.items():
+        if not isinstance(key, str):
+            raise ProtocolError(E_BAD_REQUEST,
+                                f"{side} attribute names must be strings")
+        if isinstance(val, (dict, list)):
+            raise ProtocolError(E_BAD_REQUEST,
+                                f"{side}.{key} must be a scalar value")
+        text = "" if val is None else str(val)
+        if len(text) > limits.max_value_chars:
+            raise ProtocolError(
+                E_TOO_LARGE, f"{side}.{key} is {len(text)} chars "
+                f"(limit {limits.max_value_chars})")
+        coerced[key] = text
+    return EntityRecord.from_dict(coerced, entity_id=entity_id, source=source)
+
+
+def parse_request(line: bytes | str,
+                  limits: ServeLimits | None = None) -> Request:
+    """Parse and validate one request line.
+
+    Raises :class:`ProtocolError` — with the request id attached when it
+    could be recovered — for anything malformed; never raises anything
+    else for untrusted input.
+    """
+    limits = limits or ServeLimits()
+    if isinstance(line, str):
+        line = line.encode("utf-8", errors="replace")
+    if len(line) > limits.max_line_bytes:
+        raise ProtocolError(E_TOO_LARGE,
+                            f"request line is {len(line)} bytes "
+                            f"(limit {limits.max_line_bytes})")
+    try:
+        payload = json.loads(line.decode("utf-8", errors="strict"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(E_BAD_JSON, f"not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(E_BAD_JSON, "request must be a JSON object")
+    request_id = payload.get("id")
+    if request_id is not None and not isinstance(request_id, (str, int)):
+        raise _with_id(ProtocolError(
+            E_BAD_REQUEST, "'id' must be a string or integer"), None)
+    op = payload.get("op")
+    try:
+        if not isinstance(op, str):
+            raise ProtocolError(E_BAD_REQUEST, "missing 'op' field")
+        if op not in OPS:
+            raise ProtocolError(E_UNKNOWN_OP, f"unknown op {op!r} "
+                                              f"(expected one of {', '.join(OPS)})")
+        if op == "match":
+            if "left" not in payload or "right" not in payload:
+                raise ProtocolError(E_BAD_REQUEST,
+                                    "match needs 'left' and 'right' records")
+            left = _coerce_record(payload["left"], "left", limits)
+            right = _coerce_record(payload["right"], "right", limits)
+            return Request(op=op, id=request_id, left=left, right=right,
+                           raw=payload)
+        if op == "swap":
+            ref = payload.get("ref", "latest")
+            if not isinstance(ref, str) or not ref:
+                raise ProtocolError(E_BAD_REQUEST,
+                                    "'ref' must be a non-empty run reference")
+            return Request(op=op, id=request_id, ref=ref, raw=payload)
+        return Request(op=op, id=request_id, raw=payload)
+    except ProtocolError as exc:
+        raise _with_id(exc, request_id) from None
+
+
+def _with_id(exc: ProtocolError, request_id) -> ProtocolError:
+    exc.request_id = request_id
+    return exc
+
+
+def error_response(code: str, message: str, request_id=None) -> dict:
+    response: dict = {"error": {"code": code, "message": message}}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def match_response(score: float, is_match: bool, request_id=None) -> dict:
+    response: dict = {"score": float(score), "is_match": bool(is_match)}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def encode_response(response: dict) -> bytes:
+    """One response frame: compact JSON plus the line terminator."""
+    return json.dumps(response, separators=(",", ":"),
+                      default=str).encode("utf-8") + b"\n"
+
+
+def decode_response(line: bytes | str) -> dict:
+    """Client-side inverse of :func:`encode_response`."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    payload = json.loads(line)
+    if not isinstance(payload, dict):
+        raise ValueError(f"response must be a JSON object, got {payload!r}")
+    return payload

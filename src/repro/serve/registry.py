@@ -1,0 +1,63 @@
+"""Model weights in and out of the run registry (hot-swap plumbing).
+
+The serving daemon promotes retrained models without a restart by
+resolving weights *through the run registry*: a training (or publish)
+run files the model's state dict as the ``weights.npz`` artifact of a
+run, and ``{"op": "swap", "ref": "latest"}`` resolves that reference
+exactly like ``repro runs show`` would — run id, run name, or
+``latest`` — then loads the arrays.  The daemon never takes a filesystem
+path from the network.
+
+:func:`publish_model` is the write side (used by tests, benchmarks, and
+anyone promoting a trained model); :func:`resolve_weights` the read
+side (used by the daemon's ``swap`` op).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.serialization import CheckpointError, load_arrays, save_arrays
+from repro.runs.store import RunStore
+
+#: Artifact filename holding a published model's state dict.
+WEIGHTS_ARTIFACT = "weights.npz"
+
+
+def publish_model(model: Module, name: str = "",
+                  store: RunStore | None = None,
+                  root: str | Path | None = None,
+                  **metrics) -> str:
+    """File a model's weights as a completed ``kind="model"`` run.
+
+    Returns the run id; serve it with ``{"op": "swap", "ref": <id>}``
+    (or by ``name``, or as ``latest``).  Extra keyword metrics land in
+    the run manifest, so a promotion can carry its validation F1 along.
+    """
+    store = store or RunStore(root)
+    writer = store.create(name=name, kind="model",
+                          config={"artifact": WEIGHTS_ARTIFACT})
+    save_arrays(writer.artifact_dir() / WEIGHTS_ARTIFACT, model.state_dict())
+    writer.finish(**metrics)
+    return writer.id
+
+
+def resolve_weights(ref: str, store: RunStore | None = None,
+                    root: str | Path | None = None) -> tuple[str, dict[str, np.ndarray]]:
+    """Resolve a run reference to ``(run_id, state_dict arrays)``.
+
+    Raises ``KeyError`` for an unknown reference and
+    :class:`~repro.nn.serialization.CheckpointError` when the run has no
+    (readable) weights artifact — the daemon maps both onto a structured
+    ``swap_failed`` response.
+    """
+    store = store or RunStore(root)
+    record = store.resolve(ref)
+    path = record.path / "artifacts" / WEIGHTS_ARTIFACT
+    if not path.exists():
+        raise CheckpointError(
+            f"run {record.id} has no {WEIGHTS_ARTIFACT} artifact")
+    return record.id, load_arrays(path)

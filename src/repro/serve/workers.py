@@ -1,0 +1,203 @@
+"""Serving workers: in-process scoring or one forked engine per shard.
+
+The daemon talks to every worker through the same tiny surface —
+``score_batch`` / ``swap`` / ``restart`` / ``close`` — and never cares
+which side of a process boundary the engine lives on:
+
+- :class:`LocalWorker` wraps a :class:`~repro.serve.scorer.MatchScorer`
+  directly (``shards=0``); scoring runs on the worker's dedicated
+  executor thread so the event loop stays responsive.
+- :class:`ShardWorker` forks a child process holding its *own* scorer
+  (one engine per process — the one-core-per-worker reality) and speaks
+  a pickled tuple protocol over a :mod:`multiprocessing` pipe.  Requests
+  are routed to shards by :func:`shard_of` over the *left* record, so a
+  record's repeat appearances land on the same shard and its record
+  memo stays hot.
+
+Crash containment: a worker process dying mid-batch surfaces as
+:class:`WorkerCrash` in the parent, which respawns the worker and
+re-runs the batch (see ``MatchServer._run_batch``) — requests are
+requeued, never dropped.  The child visits the ``serve.worker_batch``
+fault site before scoring, so the crash-recovery tests inject the kill
+(or a stall) deterministically via :class:`repro.ft.faults.FaultPlan`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+from contextlib import nullcontext
+from typing import Callable, Sequence
+
+from repro import obs
+from repro.data.schema import EntityPair, EntityRecord
+from repro.ft.faults import FaultPlan, fault_point, inject
+from repro.serve.scorer import MatchScorer
+
+
+class WorkerCrash(RuntimeError):
+    """The worker process died before answering; the batch is retryable."""
+
+
+def shard_of(record: EntityRecord, num_shards: int) -> int:
+    """Stable shard index for a record (keyed on source + attributes).
+
+    Deterministic across processes and runs (no ``hash()``
+    randomization), so a record always lands on the shard whose memo
+    already holds it.
+    """
+    if num_shards <= 1:
+        return 0
+    payload = json.dumps([record.source, list(record.attributes)],
+                         separators=(",", ":"))
+    digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % num_shards
+
+
+class LocalWorker:
+    """In-process worker: the scorer runs on the daemon's executor thread."""
+
+    kind = "local"
+
+    def __init__(self, scorer: MatchScorer, index: int = 0):
+        self.scorer = scorer
+        self.index = index
+
+    def score_batch(self, pairs: Sequence[EntityPair]) -> list[tuple[float, int, bool]]:
+        with obs.span("serve.batch", worker=self.index, pairs=len(pairs)):
+            fault_point("serve.worker_batch", pairs)
+            return self.scorer.score(pairs)
+
+    def swap(self, state, ref: str = "") -> None:
+        self.scorer.swap(state, ref)
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "index": self.index,
+                **self.scorer.describe()}
+
+    def restart(self) -> None:  # pragma: no cover - local workers cannot die
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_main(conn, scorer: MatchScorer, fault_plan: FaultPlan | None) -> None:
+    """Child-process loop: score/swap/ping until the pipe closes."""
+    guard = inject(fault_plan) if fault_plan is not None else nullcontext()
+    with guard:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            op, payload = message[0], message[1] if len(message) > 1 else None
+            if op == "stop":
+                break
+            try:
+                if op == "score":
+                    with obs.span("serve.batch", pairs=len(payload)):
+                        fault_point("serve.worker_batch", payload)
+                        conn.send(("ok", scorer.score(payload)))
+                elif op == "swap":
+                    state, ref = payload
+                    scorer.swap(state, ref)
+                    conn.send(("ok", None))
+                elif op == "ping":
+                    conn.send(("ok", scorer.describe()))
+                else:
+                    conn.send(("err", f"unknown worker op {op!r}"))
+            except (BrokenPipeError, OSError):  # parent went away
+                break
+            except BaseException as exc:  # noqa: BLE001 - must answer, not die
+                try:
+                    conn.send(("err", repr(exc)))
+                except (BrokenPipeError, OSError):
+                    break
+    conn.close()
+    os._exit(0)
+
+
+class ShardWorker:
+    """One forked worker process owning one engine (and its hot memo).
+
+    ``scorer_factory`` runs in the *parent* right before each fork, so
+    the child inherits a private scorer.  A worker that crashes is
+    replaced via :meth:`restart` — the replacement is built fresh and
+    does not inherit the (test-injected) fault plan, modeling a faulty
+    process being respawned healthy.
+    """
+
+    kind = "shard"
+
+    def __init__(self, scorer_factory: Callable[[], MatchScorer],
+                 index: int = 0, fault_plan: FaultPlan | None = None,
+                 poll_step: float = 0.05):
+        self.scorer_factory = scorer_factory
+        self.index = index
+        self.poll_step = poll_step
+        self.restarts = 0
+        self._ctx = multiprocessing.get_context("fork")
+        self._spawn(fault_plan)
+
+    def _spawn(self, fault_plan: FaultPlan | None) -> None:
+        scorer = self.scorer_factory()
+        parent_conn, child_conn = self._ctx.Pipe()
+        self._proc = self._ctx.Process(
+            target=_shard_main, args=(child_conn, scorer, fault_plan),
+            daemon=True, name=f"repro-serve-shard-{self.index}")
+        self._proc.start()
+        child_conn.close()
+        self._conn = parent_conn
+
+    # ------------------------------------------------------------------
+    def _request(self, op: str, payload=None):
+        try:
+            self._conn.send((op, payload))
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrash(f"shard {self.index} pipe closed: {exc}") from exc
+        while True:
+            try:
+                if self._conn.poll(self.poll_step):
+                    status, value = self._conn.recv()
+                    break
+            except (EOFError, OSError) as exc:
+                raise WorkerCrash(
+                    f"shard {self.index} died mid-request: {exc}") from exc
+            if not self._proc.is_alive():
+                raise WorkerCrash(
+                    f"shard {self.index} exited with code "
+                    f"{self._proc.exitcode}")
+        if status == "err":
+            raise RuntimeError(f"shard {self.index}: {value}")
+        return value
+
+    def score_batch(self, pairs: Sequence[EntityPair]) -> list[tuple[float, int, bool]]:
+        return self._request("score", list(pairs))
+
+    def swap(self, state, ref: str = "") -> None:
+        self._request("swap", (dict(state), ref))
+
+    def describe(self) -> dict:
+        info = self._request("ping")
+        return {"kind": self.kind, "index": self.index,
+                "restarts": self.restarts, **info}
+
+    def restart(self) -> None:
+        """Replace a dead (or wedged) worker process with a fresh one."""
+        self.close(timeout=0.5)
+        self.restarts += 1
+        self._spawn(fault_plan=None)
+
+    def close(self, timeout: float = 2.0) -> None:
+        try:
+            self._conn.send(("stop", None))
+        except (BrokenPipeError, OSError):
+            pass
+        self._proc.join(timeout)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout)
+        self._conn.close()

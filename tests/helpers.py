@@ -1,10 +1,35 @@
-"""Shared test utilities: finite-difference gradient checking."""
+"""Shared test utilities: gradient checking and a fake clock."""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.nn.tensor import Tensor
+
+
+class FakeClock:
+    """A manually advanced monotonic clock (no sleep-and-hope tests).
+
+    Inject wherever a component takes a ``clock`` callable
+    (:class:`repro.serve.batcher.BatchQueue`, ``MatchServer``) and drive
+    time explicitly::
+
+        clock = FakeClock()
+        queue = BatchQueue(max_delay=0.005, clock=clock)
+        clock.advance(0.005)   # the deadline has now passed
+    """
+
+    def __init__(self, start: float = 1000.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self.now += seconds
+        return self.now
 
 
 def numeric_gradient(fn, value: np.ndarray, eps: float = 1e-6) -> np.ndarray:

@@ -363,3 +363,54 @@ class TestCalibrateBand:
         preds, escalated = cascade_predictions(cheap, full, 0.4, 0.6)
         np.testing.assert_array_equal(escalated, [False, True, True, True, False])
         np.testing.assert_array_equal(preds, [0, 0, 1, 0, 1])
+
+
+# ----------------------------------------------------------------------
+# Determinism regression: serving the cascade concurrently must score
+# exactly like serial, direct submission — interleaving across client
+# connections cannot perturb a score (batch-shape invariance + the
+# serial per-worker executor).
+# ----------------------------------------------------------------------
+class TestServedCascadeDeterminism:
+    def test_concurrent_interleaving_equals_serial(self, dual_model, encoder):
+        import threading
+
+        from repro.serve import MatchScorer, MatchServer, ServeClient, \
+            ServeConfig, ServerHandle
+
+        rng = np.random.default_rng(21)
+        records = _random_records(rng, 8)
+        requests = [(dict(records[int(rng.integers(8))].attributes),
+                     dict(records[int(rng.integers(8))].attributes))
+                    for _ in range(24)]
+        pairs = [EntityPair(EntityRecord.from_dict(left),
+                            EntityRecord.from_dict(right), 0)
+                 for left, right in requests]
+
+        def cascade_factory(model):
+            cheap = InferenceEngine(model, encoder, EngineConfig(batch_size=8))
+            full = InferenceEngine(_BiasModel(scale=0.0, bias=2.0), encoder,
+                                   EngineConfig(batch_size=8))
+            return CascadeScorer(cheap, full,
+                                 CascadeBand(0.35, 0.65, 0.0, 0.0, 0.0))
+
+        serial = cascade_factory(dual_model).score_pairs(pairs)
+        server = MatchServer(
+            lambda: MatchScorer(cascade_factory, dual_model),
+            ServeConfig(port=0, max_batch=5, max_delay=0.001))
+        results: dict[int, list] = {}
+        with ServerHandle(server) as (host, port):
+            def hammer(worker_id):
+                with ServeClient(host, port) as client:
+                    results[worker_id] = client.match_many(requests)
+
+            threads = [threading.Thread(target=hammer, args=(i,))
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for responses in results.values():
+            for i, response in enumerate(responses):
+                assert response["score"] == float(serial["em_prob"][i])
+                assert response["is_match"] == bool(serial["em_pred"][i])
