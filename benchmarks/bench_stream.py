@@ -1,0 +1,202 @@
+"""Durable streaming resolution at corpus scale — ingest rate, recovery
+cost, and resolution lag on a 100k-offer WDC stream.
+
+The workload is the honest operational shape: a product-interleaved
+stream of 100,000 synthetic shop offers (12,500 catalogue products,
+8 offers each) ingested through the WAL-journaled pipeline with
+periodic snapshots, **killed mid-stream** at a fault site (the WAL's
+user-space append buffer makes an abandoned pipeline a faithful
+``kill -9``: the un-synced suffix is genuinely lost), then recovered
+and resumed from the journal.  The driver resumes the offer stream at
+the recovered record count — the exactly-once ingest contract is what
+makes that resumption correct.
+
+Measured:
+
+- **ingest records/s** over the clean streaming segments (recovery
+  excluded), the headline rate a deployment would size against;
+- **recovery_s**: journal open + snapshot load + WAL tail replay;
+- **resolution lag**: time from the last offer to a final partition
+  (draining pending candidate pairs through the scorer + union-find);
+- **snapshot_s**: one full-state atomic snapshot + WAL compaction at
+  final size.
+
+Invariants asserted on every run: candidate pairs are emitted exactly
+once (``candidates == emitted set size``), every candidate is scored
+exactly once, and the final partition equals the batch resolver's on
+the same scored edges.
+
+The LSH config is ``num_hashes=96, bands=8`` (12 rows/band, ~0.84
+Jaccard S-curve) — streaming dedup wants a much stricter curve than
+the batch blocker's recall-oriented default (48/12, 4 rows, ~0.54):
+the synthetic catalogue has distinct products sharing whole spec-token
+profiles, so looser curves make the candidate count grow
+quadratically with corpus size (measured: 48/12 emits 32 candidates
+per record at just 5k offers; 96/12 at ~0.73 is linear-ish to 20k but
+superlinear by 40k; 96/8 stays near-linear through 100k).
+
+With ``--record`` the measurement is filed as a ``kind="bench"`` run,
+gated in CI by ``repro runs check`` against the committed
+``tests/baselines/stream_bench.json`` (ingest throughput under the
+``infer_pairs_per_s`` key the watchdog gates on).
+"""
+
+import itertools
+import time
+
+from benchmarks.helpers import RESULTS_DIR, record_bench, run_once
+from repro.data.generators.wdc import wdc_offer_stream
+from repro.eval.reporting import format_table
+from repro.ft.faults import FaultError, FaultPlan, inject
+from repro.resolution import resolve_clusters
+from repro.stream import JaccardScorer, StreamConfig, StreamPipeline
+
+CATEGORY = "computers"
+OFFERS = 100_000
+OFFERS_PER_PRODUCT = 8
+SEED = 11
+KILL_AT_RECORD = 40_000          # stream.ingest hit of the injected kill
+CONFIG = StreamConfig(
+    threshold=0.5,
+    score_batch=256,
+    sync_every=512,
+    snapshot_every=25_000,
+    num_hashes=96,
+    bands=8,
+    seed=0,
+)
+
+
+def _offers(start: int = 0):
+    stream = wdc_offer_stream(CATEGORY, OFFERS, seed=SEED,
+                              offers_per_product=OFFERS_PER_PRODUCT)
+    return itertools.islice(stream, start, None)
+
+
+def _run_stream_bench(tmp_dir) -> dict:
+    # --- phase 1: clean ingest up to the kill point ------------------
+    plan = FaultPlan().fail_at("stream.ingest", KILL_AT_RECORD)
+    pipe = StreamPipeline(tmp_dir, JaccardScorer(), CONFIG)
+    t0 = time.perf_counter()
+    killed = False
+    with inject(plan):
+        try:
+            pipe.extend(_offers())
+        except FaultError:
+            killed = True
+    phase1_s = time.perf_counter() - t0
+    assert killed, "fault site never fired"
+    phase1_records = pipe.counters["records"]
+    del pipe                      # abandoned: buffered WAL suffix is lost
+
+    # --- recovery ----------------------------------------------------
+    t0 = time.perf_counter()
+    pipe = StreamPipeline(tmp_dir, JaccardScorer(), CONFIG)
+    recovery_s = time.perf_counter() - t0
+    assert pipe.recovered
+    resumed_at = pipe.counters["records"]
+    lost = phase1_records - resumed_at          # un-synced suffix
+
+    # --- phase 2: resume the stream where the journal left off -------
+    t0 = time.perf_counter()
+    pipe.extend(_offers(start=resumed_at))
+    phase2_s = time.perf_counter() - t0
+
+    # --- resolution lag: drain pending pairs to a final partition ----
+    t0 = time.perf_counter()
+    pipe.flush()
+    resolution = pipe.resolution()
+    resolution_lag_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pipe.snapshot()
+    snapshot_s = time.perf_counter() - t0
+
+    stats = pipe.stats()
+    assert stats["records"] == OFFERS
+    assert stats["pending"] == 0
+    # Exactly-once bookkeeping survived the kill.
+    assert stats["candidates"] == pipe.index.emitted_count
+    assert stats["scored"] == stats["candidates"]
+    assert stats["scored"] == len(pipe.scored_edges)
+    # The incremental partition equals the batch resolver's.
+    batch = resolve_clusters(
+        sorted(pipe.records),
+        [(a, b, p) for (a, b), p in pipe.scored_edges.items()],
+        threshold=CONFIG.threshold)
+    assert resolution.clusters == batch.clusters
+    pipe.close()
+
+    ingest_s = phase1_s + phase2_s
+    return {
+        "offers": OFFERS,
+        "products": OFFERS // OFFERS_PER_PRODUCT,
+        "records_per_s": OFFERS / ingest_s,
+        "phase1_s": phase1_s,
+        "phase2_s": phase2_s,
+        "recovery_s": recovery_s,
+        "replayed": pipe.wal.stats.replayed,
+        "lost_unsynced": lost,
+        "resolution_lag_s": resolution_lag_s,
+        "snapshot_s": snapshot_s,
+        "candidates": stats["candidates"],
+        "scored": stats["scored"],
+        "score_calls": stats["score_calls"],
+        "clusters": stats["clusters"],
+        "largest_cluster": len(resolution.clusters[0]),
+        "snapshots": stats["wal"]["snapshots"],
+        "syncs": stats["wal"]["syncs"],
+    }
+
+
+def render_stream(report: dict) -> str:
+    rows = [
+        ["ingest", f"{report['records_per_s']:.0f} rec/s",
+         f"{report['phase1_s'] + report['phase2_s']:.1f}"],
+        ["recovery (kill at 40k)", f"{report['replayed']} ops replayed, "
+         f"{report['lost_unsynced']} unsynced lost",
+         f"{report['recovery_s']:.2f}"],
+        ["resolution lag", f"{report['scored']} pairs -> "
+         f"{report['clusters']} clusters",
+         f"{report['resolution_lag_s']:.2f}"],
+        ["final snapshot", f"{report['snapshots']} total",
+         f"{report['snapshot_s']:.2f}"],
+    ]
+    title = (f"Durable streaming — {report['offers']} {CATEGORY} offers "
+             f"({report['products']} products), nh={CONFIG.num_hashes} "
+             f"bands={CONFIG.bands}, sync_every={CONFIG.sync_every}, "
+             f"snapshot_every={CONFIG.snapshot_every}, "
+             f"{report['candidates']} candidates exactly-once")
+    return format_table(["stage", "result", "seconds"], rows, title=title)
+
+
+def test_stream_throughput_and_recovery(benchmark, request, tmp_path):
+    report = run_once(benchmark, lambda: _run_stream_bench(tmp_path))
+
+    # A torn journal or lost-op bug shows up as a candidate/scored skew
+    # (asserted inside the run); here, sanity-check the measured shape.
+    assert report["clusters"] <= report["offers"]
+    # Transitive closure chains some look-alike products together (no
+    # split repair on the streaming path), but no giant component may
+    # swallow the corpus.
+    assert report["largest_cluster"] <= report["offers"] * 0.01
+    assert report["lost_unsynced"] <= CONFIG.sync_every
+
+    record_bench(request, "bench-stream",
+                 infer_pairs_per_s=report["records_per_s"],
+                 records_per_s=report["records_per_s"],
+                 recovery_s=report["recovery_s"],
+                 resolution_lag_s=report["resolution_lag_s"],
+                 snapshot_s=report["snapshot_s"],
+                 candidates=report["candidates"],
+                 scored=report["scored"],
+                 clusters=report["clusters"])
+
+    path = RESULTS_DIR / "stream_bench.txt"
+    header = ("Extension: durable streaming resolution — WAL-journaled "
+              "incremental LSH + union-find, killed and recovered "
+              "mid-stream\n")
+    block = render_stream(report) + "\n"
+    existing = path.read_text() if path.exists() else header
+    if block.splitlines()[0] not in existing:
+        path.write_text(existing + block)

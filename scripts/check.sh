@@ -7,9 +7,12 @@
 # the committed baseline by the `repro runs check` watchdog), the
 # cascade stage (staged-scoring suite + frontier bench, gated against
 # tests/baselines/cascade_bench.json for F1 and throughput regressions),
-# and the serve stage (serving test battery + load bench of the
+# the serve stage (serving test battery + load bench of the
 # `repro serve` daemon, gated against tests/baselines/serve_bench.json
-# for served-throughput regressions).
+# for served-throughput regressions), and the stream stage (durable
+# streaming suite incl. the kill-at-any-point crash matrix + a
+# 100k-offer ingest/recovery bench, gated against
+# tests/baselines/stream_bench.json for ingest-throughput regressions).
 #
 #   bash scripts/check.sh
 #
@@ -61,6 +64,13 @@ REPRO_RUNS_DIR="$RUNS_TMP" python -m repro.cli runs check bench-serve \
     --baseline tests/baselines/serve_bench.json \
     --f1-tol 0 --throughput-tol 0.5
 
+echo "== stream: durable-resolution suite + 100k ingest/recovery bench =="
+python -m pytest -q tests/test_stream.py
+REPRO_RUNS_DIR="$RUNS_TMP" python -m pytest -q benchmarks/bench_stream.py --record
+REPRO_RUNS_DIR="$RUNS_TMP" python -m repro.cli runs check bench-stream \
+    --baseline tests/baselines/stream_bench.json \
+    --f1-tol 0 --throughput-tol 0.5
+
 echo "== runs: seeded smoke run vs committed baseline (watchdog) =="
 REPRO_RUNS_DIR="$RUNS_TMP" python -m repro.cli run \
     --dataset wdc_computers --size small --model emba_ft \
@@ -74,3 +84,4 @@ cat results/ext_obs.txt
 cat results/ext_runs.txt
 cat results/cascade_frontier.txt
 cat results/serve_bench.txt
+cat results/stream_bench.txt

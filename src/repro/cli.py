@@ -18,6 +18,12 @@ Commands
                                JSON over TCP with micro-batching,
                                backpressure, and hot-swappable weights
                                (see docs/operations.md for the runbook)
+- ``stream``                   durable streaming resolution: journal a
+                               synthetic WDC offer stream through the
+                               WAL-backed incremental LSH index, score
+                               new candidates, and cluster incrementally;
+                               re-running with the same ``--dir`` recovers
+                               from the journal (kill-at-any-point safe)
 - ``selfcheck``                numerical certification: gradcheck sweep,
                                runtime invariants, golden digests, parity
 - ``trace FILE``               render a JSON-lines trace (written via
@@ -193,6 +199,86 @@ def _cmd_serve(args) -> int:
         except KeyboardInterrupt:
             pass
     return 0
+
+
+def _cmd_stream(args) -> int:
+    """Durable streaming resolution over a synthetic WDC offer stream."""
+    import time
+
+    from repro.data.generators.wdc import wdc_offer_stream
+    from repro.runs import RunStore, recording
+    from repro.stream import JaccardScorer, StreamConfig, StreamPipeline
+
+    if args.scorer == "jaccard":
+        scorer = JaccardScorer(threshold=args.threshold)
+    else:
+        from repro.serve.scorer import factory_from_spec
+
+        dataset = args.dataset or f"wdc_{args.category}"
+        scorer = factory_from_spec(
+            dataset, args.size, args.scorer, seed=args.seed,
+            batch_size=args.batch_size, threshold=args.threshold,
+            weights_ref=args.weights, runs_root=None)().engine
+    config = StreamConfig(
+        threshold=args.threshold, score_batch=args.score_batch,
+        sync_every=args.sync_every, snapshot_every=args.snapshot_every,
+        num_hashes=args.num_hashes, bands=args.bands, seed=args.seed)
+
+    writer = None
+    if not args.no_record:
+        writer = RunStore().create(
+            name=args.name or f"stream-{args.category}-{args.offers}",
+            kind="stream",
+            config={"category": args.category, "offers": args.offers,
+                    "scorer": args.scorer, "threshold": args.threshold,
+                    "score_batch": args.score_batch,
+                    "snapshot_every": args.snapshot_every,
+                    "num_hashes": args.num_hashes, "bands": args.bands,
+                    "seed": args.seed},
+            argv=list(sys.argv), dataset=f"wdc_{args.category}",
+            model=args.scorer, seed=args.seed)
+
+    def drive() -> int:
+        pipeline = StreamPipeline(args.dir, scorer, config)
+        if pipeline.recovered:
+            print(f"recovered from journal: {len(pipeline.records)} records, "
+                  f"{pipeline.counters['scored']} scored pairs, "
+                  f"snapshot seq {pipeline.wal.snapshot_seq}")
+        start = time.perf_counter()
+        pipeline.extend(wdc_offer_stream(
+            args.category, args.offers, seed=args.seed,
+            offers_per_product=args.offers_per_product))
+        pipeline.flush()
+        pipeline.snapshot()
+        wall = time.perf_counter() - start
+        stats = pipeline.stats()
+        resolution = pipeline.resolution()
+        rate = stats["upserts"] / wall if wall > 0 else 0.0
+        print(f"streamed {args.offers} {args.category} offers in {wall:.2f}s "
+              f"({rate:.0f} records/s)")
+        print(f"  records      = {stats['records']}")
+        print(f"  candidates   = {stats['candidates']} (exactly-once)")
+        print(f"  scored       = {stats['scored']} "
+              f"in {stats['score_calls']} batches")
+        print(f"  clusters     = {stats['clusters']}"
+              f"  largest = {len(resolution.clusters[0]) if resolution.clusters else 0}")
+        print(f"  wal          = {stats['wal']['appended']} ops, "
+              f"{stats['wal']['syncs']} syncs, "
+              f"{stats['wal']['snapshots']} snapshots")
+        if writer is not None:
+            writer.finish(records=stats["records"],
+                          candidates=stats["candidates"],
+                          scored=stats["scored"],
+                          clusters=stats["clusters"],
+                          records_per_s=round(rate, 2),
+                          wall_seconds=round(wall, 3))
+        pipeline.close()
+        return 0
+
+    if writer is not None:
+        with recording(writer):
+            return drive()
+    return drive()
 
 
 def _cmd_selfcheck(args) -> int:
@@ -449,6 +535,57 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: REPRO_RUNS_DIR or <cache>/runs)")
     add_trace_flags(serve)
     serve.set_defaults(fn=_cmd_serve)
+
+    stream = sub.add_parser(
+        "stream",
+        help="durable streaming resolution: WAL-journaled ingest -> "
+             "incremental LSH candidates -> scoring -> incremental "
+             "clusters, with kill-at-any-point recovery",
+    )
+    stream.add_argument("--dir", required=True,
+                        help="journal directory; existing state in it is "
+                             "recovered before new offers are ingested")
+    stream.add_argument("--category", default="computers",
+                        help="WDC category to stream "
+                             "(computers/cameras/watches/shoes)")
+    stream.add_argument("--offers", type=int, default=1000,
+                        help="number of synthetic offers to stream")
+    stream.add_argument("--offers-per-product", type=int, default=8,
+                        help="duplicate offers per catalogue product")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--scorer", default="jaccard",
+                        help="'jaccard' (cheap token-overlap stage) or a "
+                             "model name (engine-backed, e.g. emba_dual_ft)")
+    stream.add_argument("--dataset", default="",
+                        help="dataset for the engine-backed scorer bootstrap "
+                             "(default: wdc_<category>)")
+    stream.add_argument("--size", default="small")
+    stream.add_argument("--weights", default="",
+                        help="published weights ref for the engine scorer "
+                             "(run id/name or 'latest')")
+    stream.add_argument("--batch-size", type=int, default=32,
+                        help="engine forward batch size")
+    stream.add_argument("--threshold", type=float, default=0.5,
+                        help="cluster-edge decision boundary")
+    stream.add_argument("--score-batch", type=int, default=64,
+                        help="pending pairs per scoring batch (bounds "
+                             "in-flight work)")
+    stream.add_argument("--sync-every", type=int, default=64,
+                        help="WAL group-commit size (ops per fsync)")
+    stream.add_argument("--num-hashes", type=int, default=48,
+                        help="MinHash signature length")
+    stream.add_argument("--bands", type=int, default=12,
+                        help="LSH bands; rows = num_hashes // bands, "
+                             "more rows per band = stricter candidate curve")
+    stream.add_argument("--snapshot-every", type=int, default=2000,
+                        help="journaled ops between snapshots (0 = only "
+                             "the final snapshot)")
+    stream.add_argument("--name", default="",
+                        help="name for the recorded run")
+    stream.add_argument("--no-record", action="store_true",
+                        help="do not register this run in the run store")
+    add_trace_flags(stream)
+    stream.set_defaults(fn=_cmd_stream)
 
     trace = sub.add_parser(
         "trace",

@@ -148,6 +148,64 @@ def _render_offer(entity: CatalogEntity, category: str,
     )
 
 
+def _catalog_entity(category: str, index: int, seed: int) -> CatalogEntity:
+    """Catalog entity ``index``, generated independently of all others.
+
+    Unlike :func:`_build_catalog` (which draws entities sequentially
+    from one shared rng), each entity here gets its own seeded rng, so
+    entity ``i`` of a million-product catalogue is computable in O(1)
+    without materializing entities ``0..i-1`` — the property the
+    streaming generator needs.
+    """
+    spec = _CATEGORY_SPECS[category]
+    category_offset = sum(ord(c) for c in category)
+    rng = np.random.default_rng([seed * 7919 + category_offset, index])
+    brand = spec["brands"][int(rng.integers(0, len(spec["brands"])))]
+    ptype = spec["types"][int(rng.integers(0, len(spec["types"])))]
+    code = model_code(rng)
+    attrs = {"brand": brand, "type": ptype, "model": code}
+    for values, name in spec["specs"]:
+        attrs[name] = str(values[int(rng.integers(0, len(values)))])
+    return CatalogEntity(entity_id=f"{category}-{index}", attributes=attrs,
+                         group=brand)
+
+
+def wdc_offer_stream(category: str, num_offers: int, seed: int = 0,
+                     offers_per_product: int = 8):
+    """Lazily yield ``(key, record)`` offers for a scaled WDC corpus.
+
+    A generator over a synthetic corpus of ``num_offers`` shop offers
+    covering ``ceil(num_offers / offers_per_product)`` catalogue
+    products — nothing is materialized, so a million-offer corpus
+    streams in O(1) memory.  Offers arrive product-interleaved (offer
+    ``i`` belongs to product ``i % num_products``), the realistic
+    regime for an incremental index: a product's duplicate offers are
+    spread across the whole stream rather than adjacent.
+
+    Seeding is stable per offer: offer ``i`` is a pure function of
+    ``(category, seed, product index, shop index)``, independent of
+    ``num_offers`` — the first 100k offers of a million-offer stream
+    are byte-identical to a 100k-offer stream.
+    """
+    if category not in _CATEGORY_SPECS:
+        raise ValueError(f"unknown WDC category {category!r}; "
+                         f"expected {WDC_CATEGORIES}")
+    if num_offers < 1:
+        raise ValueError("num_offers must be >= 1")
+    if offers_per_product < 1:
+        raise ValueError("offers_per_product must be >= 1")
+    num_products = -(-num_offers // offers_per_product)  # ceil division
+    category_offset = sum(ord(c) for c in category)
+    for i in range(num_offers):
+        product = i % num_products
+        shop = i // num_products
+        entity = _catalog_entity(category, product, seed)
+        rng = np.random.default_rng(
+            [seed * 7919 + category_offset, product, shop])
+        yield (f"{category}-{product}-s{shop}",
+               _render_offer(entity, category, rng, shop))
+
+
 def generate_wdc(category: str, size: str = "medium", seed: int = 0,
                  offers_per_product: int = 8) -> EMDataset:
     """Generate a synthetic WDC dataset for ``category`` at ``size``.
@@ -189,4 +247,5 @@ def generate_wdc(category: str, size: str = "medium", seed: int = 0,
     return dataset
 
 
-__all__ = ["WDC_CATEGORIES", "WDC_SIZES", "generate_wdc", "train_valid_test_split"]
+__all__ = ["WDC_CATEGORIES", "WDC_SIZES", "generate_wdc", "wdc_offer_stream",
+           "train_valid_test_split"]

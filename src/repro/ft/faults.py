@@ -20,6 +20,20 @@ Sites currently instrumented:
 - ``serve.worker_batch``    — hit inside a serving worker (in-process or
   forked shard) before a batch is scored; :meth:`FaultPlan.kill_at` here
   kills a shard mid-batch, :meth:`FaultPlan.sleep_at` models a slow shard
+- ``wal.append``            — hit before an op is buffered into the
+  streaming write-ahead log (value = the op)
+- ``wal.fsync``             — hit before a WAL group commit writes and
+  fsyncs its buffered ops (value = buffered op count)
+- ``wal.snapshot.write``    — hit before the snapshot tmp file is written
+- ``wal.snapshot.commit``   — hit between the tmp write and the atomic
+  ``os.replace`` that publishes the snapshot
+- ``wal.compact``           — hit before the WAL is atomically rewritten
+  to drop ops covered by the published snapshot
+- ``stream.ingest``         — hit before an arriving record is journaled
+- ``stream.score``          — hit before a pending candidate batch is
+  handed to the scorer
+- ``stream.score.commit``   — hit between scoring and journaling the
+  scored results (the re-score-on-recovery window)
 
 :class:`PoisonPairs` covers the other injection mode the engine tests
 need: a model wrapper that raises whenever a scored batch contains one

@@ -18,6 +18,7 @@ import json
 from pathlib import Path
 from typing import IO, Sequence
 
+from repro.jsonl import iter_jsonl
 from repro.obs.trace import SpanRecord
 
 
@@ -51,22 +52,14 @@ def read_jsonl(path: str | Path) -> tuple[list[SpanRecord], dict | None]:
     """
     records: list[SpanRecord] = []
     metrics: dict | None = None
-    with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
-            kind = payload.get("kind")
-            if kind == "span":
-                records.append(SpanRecord.from_dict(payload))
-            elif kind == "metrics":
-                metrics = {k: v for k, v in payload.items() if k != "kind"}
-            else:
-                raise ValueError(f"{path}:{lineno}: unknown record kind {kind!r}")
+    for line in iter_jsonl(path, corrupt="raise", tail="raise"):
+        kind = line.payload.get("kind")
+        if kind == "span":
+            records.append(SpanRecord.from_dict(line.payload))
+        elif kind == "metrics":
+            metrics = {k: v for k, v in line.payload.items() if k != "kind"}
+        else:
+            raise ValueError(f"{path}:{line.lineno}: unknown record kind {kind!r}")
     return records, metrics
 
 

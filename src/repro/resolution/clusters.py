@@ -36,8 +36,27 @@ class Resolution:
         return len(self.clusters)
 
 
+def _edge_sort_key(edge: tuple) -> tuple:
+    """Deterministic total order on weighted edges: weight, then the
+    canonical (sorted, stringified) endpoint pair.
+
+    ``min`` over edges previously tie-broke by networkx adjacency-dict
+    iteration order, which depends on node/edge insertion history — the
+    same scored graph built in a different arrival order could shed a
+    different edge and split an oversized cluster differently.
+    """
+    u, v, weight = edge
+    a, b = sorted((str(u), str(v)))
+    return (weight, a, b)
+
+
 def _split_oversized(graph: nx.Graph, max_size: int) -> None:
-    """Drop weakest edges of components exceeding ``max_size`` (in place)."""
+    """Drop weakest edges of components exceeding ``max_size`` (in place).
+
+    Deterministic: the weakest edge of a component is unique under
+    :func:`_edge_sort_key`, and components are disjoint, so the result
+    is independent of node/edge insertion order.
+    """
     changed = True
     while changed:
         changed = False
@@ -50,7 +69,7 @@ def _split_oversized(graph: nx.Graph, max_size: int) -> None:
             ]
             if not sub_edges:
                 continue
-            weakest = min(sub_edges, key=lambda e: e[2])
+            weakest = min(sub_edges, key=_edge_sort_key)
             graph.remove_edge(weakest[0], weakest[1])
             changed = True
 

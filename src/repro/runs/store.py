@@ -37,6 +37,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Iterator
 
+from repro.jsonl import iter_jsonl, read_jsonl_payloads
+
 _RUN_ID_RE = re.compile(r"^run-(\d{6})$")
 _FORMAT = 1
 
@@ -88,17 +90,9 @@ class RunRecord:
         path = self.path / "series.jsonl"
         if not path.exists():
             return []
-        out = []
-        for raw in path.read_text(encoding="utf-8").splitlines():
-            raw = raw.strip()
-            if not raw:
-                continue
-            try:
-                out.append(json.loads(raw))
-            except json.JSONDecodeError:
-                # A torn final line from a killed run is expected debris.
-                continue
-        return out
+        # Torn final line from a killed run is expected debris; interior
+        # damage in a human-inspectable series file is skipped, not fatal.
+        return read_jsonl_payloads(path, corrupt="skip", tail="tolerate")
 
     def channel(self, key: str) -> tuple[list[float], list[float]]:
         """(steps, values) for one series channel, e.g. ``"loss"``."""
@@ -183,17 +177,10 @@ class RunWriter:
         if not path.exists():
             return 0
         kept = []
-        for raw in path.read_text(encoding="utf-8").splitlines():
-            raw = raw.strip()
-            if not raw:
+        for line in iter_jsonl(path, corrupt="skip", tail="tolerate"):
+            if "step" in line.payload and int(line.payload["step"]) >= step:
                 continue
-            try:
-                line = json.loads(raw)
-            except json.JSONDecodeError:
-                continue
-            if "step" in line and int(line["step"]) >= step:
-                continue
-            kept.append(raw)
+            kept.append(line.raw)
         tmp = path.with_suffix(".jsonl.tmp")
         tmp.write_text("\n".join(kept) + ("\n" if kept else ""),
                        encoding="utf-8")

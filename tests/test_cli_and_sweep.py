@@ -52,6 +52,31 @@ class TestCli:
         out = capsys.readouterr().out
         assert "EM F1" in out
 
+    def test_stream_command_records_run_and_recovers(self, capsys, tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+        journal = str(tmp_path / "journal")
+        argv = ["stream", "--dir", journal, "--offers", "120",
+                "--offers-per-product", "4", "--score-batch", "16",
+                "--snapshot-every", "50", "--name", "stream-smoke"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "streamed 120 computers offers" in out
+        assert "exactly-once" in out
+
+        # Second invocation over the same journal: recovery plus an
+        # idempotent re-feed of the identical offer stream.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "recovered from journal: 120 records" in out
+
+        from repro.runs import RunStore
+
+        runs = [r for r in RunStore().list() if r.name == "stream-smoke"]
+        assert len(runs) == 2
+        assert all(r.manifest["kind"] == "stream" for r in runs)
+        assert all(r.metrics["records"] == 120 for r in runs)
+
 
 class TestSweep:
     def test_picks_best_candidate(self):

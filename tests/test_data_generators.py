@@ -12,6 +12,7 @@ from repro.data.generators.base import (
     sample_pairs,
     typo,
 )
+from repro.data.generators.wdc import wdc_offer_stream
 from repro.data.imbalance import entity_id_lrid
 from repro.data.registry import DATASET_NAMES, dataset_summary, load_dataset
 from repro.data.schema import EntityRecord
@@ -157,6 +158,70 @@ class TestWDC:
     def test_unknown_size(self):
         with pytest.raises(ValueError):
             load_dataset("wdc_computers", size="huge")
+
+
+class TestWDCOfferStream:
+    def test_yields_exactly_num_offers_with_unique_keys(self):
+        offers = list(wdc_offer_stream("computers", 37, seed=2,
+                                       offers_per_product=5))
+        assert len(offers) == 37
+        keys = [k for k, _r in offers]
+        assert len(set(keys)) == 37
+        # ceil(37/5) = 8 products, interleaved arrival.
+        products = {k.rsplit("-", 2)[1] for k in keys}
+        assert products == {str(i) for i in range(8)}
+
+    def test_prefix_stable_across_corpus_sizes(self):
+        """The first N offers of a larger stream are identical to an
+        N-offer stream — per-offer seeding, not sequential draws."""
+        small = list(wdc_offer_stream("cameras", 24, seed=1,
+                                      offers_per_product=4))
+        import itertools
+
+        big = list(itertools.islice(
+            wdc_offer_stream("cameras", 120, seed=1, offers_per_product=4),
+            24))
+        # Products covered differ (num_products depends on num_offers),
+        # but each (product, shop) offer is a pure function of the seed:
+        small_by_key = dict(small)
+        for key, record in big:
+            if key in small_by_key:
+                assert small_by_key[key] == record
+        assert sum(k in small_by_key for k, _ in big) > 0
+
+    def test_same_seed_reproduces_byte_identically(self):
+        a = list(wdc_offer_stream("watches", 30, seed=7))
+        b = list(wdc_offer_stream("watches", 30, seed=7))
+        assert a == b
+
+    def test_different_seeds_differ_in_stream(self):
+        a = list(wdc_offer_stream("watches", 30, seed=7))
+        b = list(wdc_offer_stream("watches", 30, seed=8))
+        assert a != b
+
+    def test_duplicate_offers_share_entity_id(self):
+        offers = list(wdc_offer_stream("shoes", 40, seed=0,
+                                       offers_per_product=8))
+        by_entity: dict[str, int] = {}
+        for _key, record in offers:
+            by_entity[record.entity_id] = by_entity.get(record.entity_id, 0) + 1
+        assert all(count == 8 for count in by_entity.values())
+
+    def test_lazy_no_materialization(self):
+        """A million-offer stream must construct in O(1): only consuming
+        it costs anything."""
+        stream = wdc_offer_stream("computers", 1_000_000)
+        first_key, first_record = next(stream)
+        assert first_key == "computers-0-s0"
+        assert first_record.entity_id == "computers-0"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            next(wdc_offer_stream("toasters", 10))
+        with pytest.raises(ValueError):
+            next(wdc_offer_stream("computers", 0))
+        with pytest.raises(ValueError):
+            next(wdc_offer_stream("computers", 10, offers_per_product=0))
 
 
 class TestStructuredDatasets:

@@ -51,6 +51,20 @@ class TestResolveClusters:
         with pytest.raises(ValueError):
             resolve_clusters(["a"], [], max_cluster_size=0)
 
+    def test_split_is_arrival_order_invariant(self):
+        """Transitivity repair must shed the same edge regardless of the
+        order edges were added: ``_split_oversized`` previously tie-broke
+        equal-weight edges by networkx adjacency iteration order."""
+        # A 5-chain with every edge at the same weight: the dropped edge
+        # is decided purely by the deterministic tie-break.
+        pairs = [("a", "b", 0.9), ("b", "c", 0.9), ("c", "d", 0.9),
+                 ("d", "e", 0.9)]
+        reference = resolve_clusters("abcde", pairs, max_cluster_size=3)
+        for order in ([3, 2, 1, 0], [1, 3, 0, 2], [2, 0, 3, 1]):
+            permuted = [pairs[i] for i in order]
+            again = resolve_clusters("edcba", permuted, max_cluster_size=3)
+            assert again.clusters == reference.clusters
+
 
 class TestClusterMetrics:
     def test_perfect_partition(self):
