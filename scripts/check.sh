@@ -12,7 +12,11 @@
 # for served-throughput regressions), and the stream stage (durable
 # streaming suite incl. the kill-at-any-point crash matrix + a
 # 100k-offer ingest/recovery bench, gated against
-# tests/baselines/stream_bench.json for ingest-throughput regressions).
+# tests/baselines/stream_bench.json for ingest-throughput regressions),
+# and the explain stage (explain test battery + attention-faithfulness
+# bench, gated against tests/baselines/explain_bench.json so
+# interpretability regressions — faithfulness gap, LIME/AoA agreement —
+# trip the watchdog like F1 regressions).
 #
 #   bash scripts/check.sh
 #
@@ -71,6 +75,13 @@ REPRO_RUNS_DIR="$RUNS_TMP" python -m repro.cli runs check bench-stream \
     --baseline tests/baselines/stream_bench.json \
     --f1-tol 0 --throughput-tol 0.5
 
+echo "== explain: faithfulness suite + bench vs baseline =="
+python -m pytest -q tests/test_explain.py
+REPRO_RUNS_DIR="$RUNS_TMP" python -m pytest -q benchmarks/bench_explain.py --record
+REPRO_RUNS_DIR="$RUNS_TMP" python -m repro.cli runs check bench-explain \
+    --baseline tests/baselines/explain_bench.json \
+    --f1-tol 0.05 --faithfulness-tol 0.05 --agreement-tol 0.3
+
 echo "== runs: seeded smoke run vs committed baseline (watchdog) =="
 REPRO_RUNS_DIR="$RUNS_TMP" python -m repro.cli run \
     --dataset wdc_computers --size small --model emba_ft \
@@ -83,5 +94,6 @@ cat results/ext_engine.txt
 cat results/ext_obs.txt
 cat results/ext_runs.txt
 cat results/cascade_frontier.txt
+cat results/explain_faithfulness.txt
 cat results/serve_bench.txt
 cat results/stream_bench.txt

@@ -24,6 +24,13 @@ Commands
                                new candidates, and cluster incrementally;
                                re-running with the same ``--dir`` recovers
                                from the journal (kill-at-any-point safe)
+- ``explain``                  attention-faithfulness audit: token-masking
+                               faithfulness of AoA gamma vs. a random
+                               baseline, per-head received-attention
+                               drift pre/post fine-tuning, and LIME/AoA
+                               rank agreement; records a ``kind="explain"``
+                               run so ``repro runs check`` can gate the
+                               interpretability metrics
 - ``selfcheck``                numerical certification: gradcheck sweep,
                                runtime invariants, golden digests, parity
 - ``trace FILE``               render a JSON-lines trace (written via
@@ -281,6 +288,55 @@ def _cmd_stream(args) -> int:
     return drive()
 
 
+def _cmd_explain(args) -> int:
+    """Run the attention-faithfulness audit and (optionally) record it."""
+    from pathlib import Path
+
+    from repro.explain.audit import render_audit, run_explain_audit
+    from repro.runs import RunStore, recording
+
+    writer = None
+    if not args.no_record:
+        writer = RunStore(args.runs_root or None).create(
+            name=args.name or f"explain-{args.model}-{args.dataset}-{args.size}",
+            kind="explain",
+            config={"dataset": args.dataset, "size": args.size,
+                    "model": args.model, "seed": args.seed,
+                    "pairs": args.pairs, "fractions": list(args.fraction),
+                    "lime_samples": args.lime_samples},
+            argv=list(sys.argv), dataset=args.dataset, model=args.model,
+            seed=args.seed)
+
+    def drive() -> int:
+        report = run_explain_audit(
+            dataset=args.dataset, size=args.size, model=args.model,
+            seed=args.seed, epochs=args.epochs or None, max_pairs=args.pairs,
+            fractions=tuple(args.fraction) or (0.1, 0.25, 0.5),
+            random_draws=args.random_draws, lime_pairs=args.lime_pairs,
+            lime_samples=args.lime_samples, topk=args.topk,
+            drift_pairs=args.drift_pairs)
+        rendered = render_audit(report)
+        print(rendered)
+        if args.save:
+            out = Path(args.save)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(rendered + "\n", encoding="utf-8")
+            print(f"saved to {out}")
+        if writer is not None:
+            writer.finish(**report["metrics"])
+        if not report["faithfulness"].faithful:
+            print("WARNING: AoA top-gamma masking hurt less than random "
+                  "masking — the model's explanations are not faithful",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    if writer is not None:
+        with recording(writer):
+            return drive()
+    return drive()
+
+
 def _cmd_selfcheck(args) -> int:
     from repro.verify.selfcheck import run_selfcheck
 
@@ -361,7 +417,9 @@ def _cmd_runs_check(args) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
     tol = Tolerance(f1_drop=args.f1_tol, throughput_drop=args.throughput_tol,
-                    health=not args.no_health)
+                    health=not args.no_health,
+                    faithfulness_drop=args.faithfulness_tol,
+                    agreement_drop=args.agreement_tol)
     violations = check_regression(baseline, candidate, tol)
     base_name = baseline.get("id") or args.baseline
     if violations:
@@ -651,6 +709,16 @@ def build_parser() -> argparse.ArgumentParser:
                             help="max allowed relative infer throughput drop, "
                                  "e.g. 0.2 = 20%% (0 disables; baselines are "
                                  "machine-specific)")
+    runs_check.add_argument("--faithfulness-tol", type=float, default=0.0,
+                            help="max allowed absolute drop in the explain "
+                                 "suite's faithfulness_gap metric "
+                                 "(0 disables; only applies when the "
+                                 "baseline recorded it)")
+    runs_check.add_argument("--agreement-tol", type=float, default=0.0,
+                            help="max allowed absolute drop in the explain "
+                                 "suite's aoa_lime_spearman metric "
+                                 "(0 disables; only applies when the "
+                                 "baseline recorded it)")
     runs_check.add_argument("--no-health", action="store_true",
                             help="do not compare fault/health counters")
     add_root(runs_check)
@@ -664,6 +732,48 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("casestudy", help="print the Sec. 4.7 case-study pair"
                    ).set_defaults(fn=_cmd_casestudy)
+
+    explain = sub.add_parser(
+        "explain",
+        help="attention-faithfulness audit: AoA token-masking vs. random, "
+             "per-head attention drift pre/post fine-tuning, LIME/AoA "
+             "agreement (non-zero exit when AoA is not faithful)",
+    )
+    explain.add_argument("--dataset", default="abt_buy")
+    explain.add_argument("--size", default="default")
+    explain.add_argument("--model", default="emba_sb",
+                         help="an AoA model (emba*, emba_cls*): the audit "
+                              "reads its gamma distribution")
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument("--epochs", type=int, default=0,
+                         help="override the dataset's fine-tuning epochs "
+                              "(0 = dataset schedule)")
+    explain.add_argument("--pairs", type=int, default=80,
+                         help="test pairs in the masking curve")
+    explain.add_argument("--fraction", action="append", type=float, default=[],
+                         help="masking fraction (repeatable; "
+                              "default: 0.1 0.25 0.5)")
+    explain.add_argument("--random-draws", type=int, default=3,
+                         help="random-masking draws averaged per fraction")
+    explain.add_argument("--lime-pairs", type=int, default=12,
+                         help="pairs in the LIME/AoA agreement sample")
+    explain.add_argument("--lime-samples", type=int, default=80,
+                         help="LIME perturbation samples per pair")
+    explain.add_argument("--topk", type=int, default=5,
+                         help="k for the top-k overlap agreement metric")
+    explain.add_argument("--drift-pairs", type=int, default=24,
+                         help="pairs in the per-head drift comparison")
+    explain.add_argument("--save", default="",
+                         help="also write the rendered audit to this file")
+    explain.add_argument("--name", default="",
+                         help="name for the recorded run")
+    explain.add_argument("--no-record", action="store_true",
+                         help="do not register this audit in the run store")
+    explain.add_argument("--runs-root", default="",
+                         help="run store root (default: REPRO_RUNS_DIR or "
+                              "<cache>/runs)")
+    add_trace_flags(explain)
+    explain.set_defaults(fn=_cmd_explain)
 
     selfcheck = sub.add_parser(
         "selfcheck",

@@ -380,6 +380,27 @@ class InferenceEngine:
         """Just the match probabilities, in input order."""
         return self.score_pairs(pairs, dataset)["em_prob"]
 
+    def predict_proba_grouped(self, groups: Sequence[Sequence[EntityPair]],
+                              dataset: EMDataset | None = None
+                              ) -> list[np.ndarray]:
+        """Match probabilities for nested pair groups, one bucketed pass.
+
+        The masked-rescoring path of the explain suite scores many small
+        variant groups (one per original pair: the unmasked base plus
+        its masked perturbations).  Scoring group-by-group would forfeit
+        the length-bucketed scheduler and the record memo across groups;
+        this flattens everything into a single :meth:`score_encoded`
+        call and splits the probabilities back along group boundaries.
+        """
+        flat = [pair for group in groups for pair in group]
+        probs = self.predict_proba(flat, dataset)
+        out: list[np.ndarray] = []
+        cursor = 0
+        for group in groups:
+            out.append(probs[cursor:cursor + len(group)])
+            cursor += len(group)
+        return out
+
     # ------------------------------------------------------------------
     # Async entry points (the serving daemon's surface)
     # ------------------------------------------------------------------

@@ -4,21 +4,73 @@
   of the Mojito framework: word-dropping perturbations + a weighted
   ridge surrogate whose coefficients are the word importances (Figure 5).
 - :mod:`~repro.explain.attention_viz`: last-layer attention-score
-  extraction with WordPiece re-aggregation and ASCII heatmap rendering
-  (Figure 6).
+  extraction (padding-invariant received attention) with WordPiece
+  re-aggregation and ASCII heatmap rendering (Figure 6).
+- :mod:`~repro.explain.faithfulness`: token-masking faithfulness of AoA
+  gamma vs. a random baseline, and LIME/AoA rank agreement.
+- :mod:`~repro.explain.drift`: per-head received-attention drift between
+  two model states (pre/post fine-tuning).
+- :mod:`~repro.explain.audit`: the end-to-end audit behind
+  ``repro explain`` and ``benchmarks/bench_explain.py``.
 """
 
 from repro.explain.attention_viz import (
     AttentionSummary,
+    aoa_scores,
+    aoa_scores_batch,
     attention_scores,
+    attention_scores_batch,
+    forward_eval,
+    received_attention,
     render_heatmap,
 )
-from repro.explain.lime import LimeExplainer, WordImportance
+from repro.explain.audit import render_audit, run_explain_audit
+from repro.explain.drift import (
+    DriftReport,
+    attention_drift,
+    js_divergence,
+    render_drift,
+)
+from repro.explain.faithfulness import (
+    AgreementReport,
+    FaithfulnessReport,
+    MaskingPoint,
+    faithfulness_curve,
+    lime_aoa_agreement,
+    render_faithfulness,
+    spearman,
+    topk_overlap,
+)
+from repro.explain.lime import (
+    LimeExplainer,
+    WordImportance,
+    render_importances,
+)
 
 __all__ = [
+    "AgreementReport",
     "AttentionSummary",
+    "DriftReport",
+    "FaithfulnessReport",
     "LimeExplainer",
+    "MaskingPoint",
     "WordImportance",
+    "aoa_scores",
+    "aoa_scores_batch",
+    "attention_drift",
     "attention_scores",
+    "attention_scores_batch",
+    "faithfulness_curve",
+    "forward_eval",
+    "js_divergence",
+    "lime_aoa_agreement",
+    "received_attention",
+    "render_audit",
+    "render_drift",
+    "render_faithfulness",
     "render_heatmap",
+    "render_importances",
+    "run_explain_audit",
+    "spearman",
+    "topk_overlap",
 ]

@@ -5,6 +5,14 @@ attention score is the total attention it *receives* in the last
 encoder layer, summed over heads; WordPiece splits of one word are
 re-aggregated by summing their pieces' scores.  EMBA's AoA gamma
 distribution can be rendered the same way.
+
+Received attention is accumulated over *real* query rows only: in a
+padded batch, PAD-query rows still carry a softmax distribution over
+the real keys, so summing every row would make each word's score a
+function of how much padding its batch happened to contain.  The
+:func:`received_attention` helper is the single place that invariant
+lives; :func:`attention_scores` and :func:`attention_scores_batch` are
+pinned padding-invariant by the explain test battery.
 """
 
 from __future__ import annotations
@@ -13,9 +21,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.data.loader import PairEncoder, collate
+from repro.data.loader import Batch, PairEncoder, collate
 from repro.data.schema import EntityPair
-from repro.models.base import EMModel
+from repro.models.base import EMModel, EMOutput
 from repro.nn.tensor import no_grad
 
 _SHADES = " .:-=+*#%@"
@@ -27,6 +35,37 @@ class AttentionSummary:
 
     words: list[str]
     scores: np.ndarray  # same length as words, sums to ~1 within the record
+
+
+def forward_eval(model: EMModel, batch: Batch) -> EMOutput:
+    """One explanation forward: ``eval()`` + ``no_grad``, mode restored.
+
+    Every explanation path must run the model in eval mode — dropout
+    left on would make importances non-deterministic — but must also
+    hand the model back in whatever mode the caller had it (a training
+    loop may be explaining mid-run).
+    """
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            return model(batch)
+    finally:
+        if was_training:
+            model.train()
+
+
+def received_attention(attn: np.ndarray, query_mask: np.ndarray) -> np.ndarray:
+    """Attention received per position: sum over heads and real queries.
+
+    ``attn`` is one sequence's ``(heads, S, S)`` attention probabilities
+    (query axis 1, key axis 2); ``query_mask`` the ``(S,)`` 0/1 mask of
+    real tokens.  Padding-query rows are excluded, so the result is
+    identical whatever padding width the sequence was batched at.
+    """
+    attn = np.asarray(attn, dtype=np.float64)
+    keep = np.asarray(query_mask, dtype=np.float64)
+    return (attn * keep[None, :, None]).sum(axis=(0, 1))
 
 
 def _aggregate_wordpieces(tokens: list[str], scores: np.ndarray,
@@ -46,6 +85,41 @@ def _aggregate_wordpieces(tokens: list[str], scores: np.ndarray,
     return words, np.array(sums)
 
 
+def _normalized(words: list[str], sums: np.ndarray) -> AttentionSummary:
+    total = sums.sum()
+    if total > 0:
+        sums = sums / total
+    return AttentionSummary(words=words, scores=sums)
+
+
+def attention_scores_batch(
+    model: EMModel, encoder: PairEncoder, pairs: list[EntityPair],
+) -> list[tuple[AttentionSummary, AttentionSummary]]:
+    """Last-layer received-attention per word for a batch of pairs.
+
+    One padded forward covers every pair; scores are padding-invariant
+    (see :func:`received_attention`), so a pair's summaries are the same
+    whether it is explained alone or alongside longer pairs.
+    """
+    encoded = [encoder.encode(pair) for pair in pairs]
+    batch = collate(encoded)
+    output = forward_eval(model, batch)
+    if not output.attentions:
+        raise ValueError("model exposes no attention maps (non-transformer encoder)")
+    last = output.attentions[-1]  # (B, heads, S, S)
+    results = []
+    for i, e in enumerate(encoded):
+        received = received_attention(last[i], batch.attention_mask[i])
+        n = len(e.tokens)
+        summaries = []
+        for mask in (batch.mask1[i], batch.mask2[i]):
+            words, sums = _aggregate_wordpieces(e.tokens, received[:n],
+                                                mask[:n] > 0)
+            summaries.append(_normalized(words, sums))
+        results.append((summaries[0], summaries[1]))
+    return results
+
+
 def attention_scores(model: EMModel, encoder: PairEncoder, pair: EntityPair
                      ) -> tuple[AttentionSummary, AttentionSummary]:
     """Last-layer received-attention per word, for each record.
@@ -54,48 +128,31 @@ def attention_scores(model: EMModel, encoder: PairEncoder, pair: EntityPair
     token-importance view; this function reflects the raw transformer
     attention the paper visualizes for both JointBERT and EMBA.
     """
-    encoded = encoder.encode(pair)
-    batch = collate([encoded])
-    was_training = model.training
-    model.eval()
-    try:
-        with no_grad():
-            output = model(batch)
-    finally:
-        if was_training:
-            model.train()
-    if not output.attentions:
-        raise ValueError("model exposes no attention maps (non-transformer encoder)")
+    return attention_scores_batch(model, encoder, [pair])[0]
 
-    last = output.attentions[-1][0]          # (heads, S, S)
-    received = last.sum(axis=0).sum(axis=0)  # attention received per position
 
-    summaries = []
-    for mask in (batch.mask1[0], batch.mask2[0]):
-        words, sums = _aggregate_wordpieces(encoded.tokens, received, mask > 0)
-        total = sums.sum()
-        if total > 0:
-            sums = sums / total
-        summaries.append(AttentionSummary(words=words, scores=sums))
-    return summaries[0], summaries[1]
+def aoa_scores_batch(model: EMModel, encoder: PairEncoder,
+                     pairs: list[EntityPair]) -> list[AttentionSummary]:
+    """EMBA's AoA gamma over record1's words for a batch of pairs."""
+    encoded = [encoder.encode(pair) for pair in pairs]
+    batch = collate(encoded)
+    output = forward_eval(model, batch)
+    if output.aoa_gamma is None:
+        raise ValueError("model has no AoA module")
+    results = []
+    for i, e in enumerate(encoded):
+        n = len(e.tokens)
+        words, sums = _aggregate_wordpieces(
+            e.tokens, output.aoa_gamma[i][:n], batch.mask1[i][:n] > 0
+        )
+        results.append(_normalized(words, sums))
+    return results
 
 
 def aoa_scores(model: EMModel, encoder: PairEncoder, pair: EntityPair
                ) -> AttentionSummary:
     """EMBA's AoA gamma over record1's words (its token-importance view)."""
-    encoded = encoder.encode(pair)
-    batch = collate([encoded])
-    with no_grad():
-        output = model(batch)
-    if output.aoa_gamma is None:
-        raise ValueError("model has no AoA module")
-    words, sums = _aggregate_wordpieces(
-        encoded.tokens, output.aoa_gamma[0], batch.mask1[0] > 0
-    )
-    total = sums.sum()
-    if total > 0:
-        sums = sums / total
-    return AttentionSummary(words=words, scores=sums)
+    return aoa_scores_batch(model, encoder, [pair])[0]
 
 
 def render_heatmap(summary: AttentionSummary, width: int = 72) -> str:

@@ -1,0 +1,160 @@
+"""The end-to-end explanation audit behind ``repro explain``.
+
+Trains (or loads from the experiment cache) one AoA model on a named
+dataset, keeps a frozen copy of its pre-fine-tuning state, and runs the
+full attention-faithfulness suite on the test split:
+
+1. token-masking faithfulness of AoA gamma vs. an equal-count random
+   baseline (:mod:`repro.explain.faithfulness`);
+2. per-head received-attention drift pre/post fine-tuning
+   (:mod:`repro.explain.drift`);
+3. LIME/AoA rank agreement on a sampled subset.
+
+The audit's headline numbers come back as a flat ``metrics`` dict so
+callers can file them as a run (``repro explain`` records a
+``kind="explain"`` run; ``benchmarks/bench_explain.py`` a
+``kind="bench"`` one) and gate them with ``repro runs check``.
+
+Heavy experiment-layer imports stay function-local, mirroring the CLI:
+``repro.explain`` must stay importable without dragging in the
+experiments runner (which itself imports this package's figure path).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.explain.drift import attention_drift, render_drift
+from repro.explain.faithfulness import (
+    faithfulness_curve,
+    lime_aoa_agreement,
+    render_faithfulness,
+)
+
+
+def train_audit_models(dataset_name: str = "abt_buy",
+                       size: str = "default", model_name: str = "emba_sb",
+                       seed: int = 0, epochs: int | None = None,
+                       pretrain_steps: int = 60):
+    """(before, after, pair_encoder, dataset) for one audit target.
+
+    ``before`` is the model at its pre-fine-tuning state (pretrained
+    encoder, freshly initialized heads); ``after`` the fine-tuned one.
+    Both states are checkpointed in the experiment cache keyed by the
+    run spec digest, so repeated audits skip training entirely.
+    """
+    from repro.bert.cache import cache_dir
+    from repro.data.loader import PairEncoder
+    from repro.data.registry import load_dataset
+    from repro.experiments.config import (
+        MODEL_SPECS,
+        RunSpec,
+        training_schedule,
+    )
+    from repro.experiments.runner import (
+        _build_encoder,
+        _build_model,
+        _tokenizer_for,
+    )
+    from repro.models import TrainConfig, Trainer
+    from repro.nn.serialization import load_state_dict, save_state_dict
+
+    schedule = training_schedule(dataset_name, size)
+    if epochs is not None:
+        schedule["epochs"] = epochs
+        schedule["patience"] = min(schedule["patience"], epochs)
+    spec = RunSpec(dataset=dataset_name, model=model_name, size=size,
+                   seed=seed, pretrain_steps=pretrain_steps,
+                   epochs=schedule["epochs"], patience=schedule["patience"],
+                   learning_rate=schedule["learning_rate"])
+    model_spec = MODEL_SPECS[model_name]
+    dataset = load_dataset(dataset_name, size=size, seed=spec.data_seed)
+    tokenizer = _tokenizer_for(dataset_name, size, spec.data_seed,
+                               spec.vocab_size)
+    pair_encoder = PairEncoder(tokenizer, max_length=spec.max_length,
+                               style=model_spec.style)
+
+    encoder, hidden = _build_encoder(model_spec.encoder, spec, tokenizer,
+                                     dataset)
+    after = _build_model(spec, encoder, hidden, dataset, tokenizer)
+    before = copy.deepcopy(after)
+    before.eval()
+
+    checkpoint = cache_dir() / f"explain-{model_name}-{spec.digest()}.npz"
+    if checkpoint.exists():
+        load_state_dict(after, checkpoint)
+    else:
+        train = pair_encoder.encode_many(dataset.train, dataset)
+        valid = pair_encoder.encode_many(dataset.valid, dataset)
+        trainer = Trainer(TrainConfig(
+            epochs=spec.epochs, batch_size=spec.batch_size,
+            learning_rate=spec.learning_rate, patience=spec.patience,
+            seed=spec.seed))
+        trainer.fit(after, train, valid)
+        save_state_dict(after, checkpoint)
+    after.eval()
+    return before, after, pair_encoder, dataset
+
+
+def run_explain_audit(dataset: str = "abt_buy", size: str = "default",
+                      model: str = "emba_sb", seed: int = 0,
+                      epochs: int | None = None, max_pairs: int = 80,
+                      fractions: tuple[float, ...] = (0.1, 0.25, 0.5),
+                      random_draws: int = 3, lime_pairs: int = 12,
+                      lime_samples: int = 80, topk: int = 5,
+                      drift_pairs: int = 24, batch_size: int = 32) -> dict:
+    """Run all three explanation analyses; return reports + flat metrics."""
+    before, after, pair_encoder, ds = train_audit_models(
+        dataset_name=dataset, size=size, model_name=model, seed=seed,
+        epochs=epochs)
+    pairs = list(ds.test)[:max_pairs]
+
+    faithfulness = faithfulness_curve(
+        after, pair_encoder, pairs, fractions=fractions,
+        random_draws=random_draws, seed=seed, batch_size=batch_size)
+    drift = attention_drift(before, after, pair_encoder,
+                            pairs[:drift_pairs], batch_size=batch_size)
+    agreement = lime_aoa_agreement(
+        after, pair_encoder, pairs[:lime_pairs], num_samples=lime_samples,
+        k=topk, seed=seed, batch_size=batch_size)
+
+    metrics = {
+        "em_f1": faithfulness.base_f1,
+        "faithfulness_gap": faithfulness.f1_gap,
+        "faithfulness_prob_gap": faithfulness.prob_gap,
+        "aoa_f1_masked": faithfulness.aoa_f1_mean,
+        "random_f1_masked": faithfulness.random_f1_mean,
+        "aoa_lime_spearman": agreement.spearman_mean,
+        "aoa_lime_topk_overlap": agreement.topk_overlap_mean,
+        "drift_jsd_mean": drift.mean_jsd,
+        "drift_jsd_max": drift.max_jsd,
+    }
+    return {
+        "dataset": dataset, "size": size, "model": model, "seed": seed,
+        "pairs": len(pairs),
+        "faithfulness": faithfulness,
+        "drift": drift,
+        "agreement": agreement,
+        "metrics": metrics,
+    }
+
+
+def render_audit(report: dict) -> str:
+    """Human-readable rendering of one full audit."""
+    agreement = report["agreement"]
+    sections = [
+        f"Explanation audit — {report['model']} on "
+        f"{report['dataset']}/{report['size']} (seed {report['seed']}, "
+        f"{report['pairs']} test pairs)",
+        "",
+        render_faithfulness(report["faithfulness"]),
+        "",
+        render_drift(report["drift"]),
+        "",
+        f"LIME/AoA agreement over {agreement.pairs} pairs: "
+        f"spearman {agreement.spearman_mean:+.4f}, "
+        f"top-{agreement.k} overlap {agreement.topk_overlap_mean:.4f}",
+    ]
+    return "\n".join(sections)

@@ -20,6 +20,23 @@ from repro.models.base import EMModel
 from repro.text.normalize import basic_tokenize
 
 
+def weighted_ridge(features: np.ndarray, targets: np.ndarray,
+                   sample_weights: np.ndarray, ridge: float) -> np.ndarray:
+    """Weighted ridge solve ``(X'WX + R)^-1 X'Wy``, intercept unpenalized.
+
+    ``features`` carries the intercept as its *last* column.  Shrinking
+    the intercept toward zero would bias every word weight whenever the
+    model's probabilities sit far from 0.5 (the surrogate would push the
+    missing offset into the word coefficients), so the regularizer
+    covers the word columns only.
+    """
+    reg = ridge * np.eye(features.shape[1])
+    reg[-1, -1] = 0.0
+    wmat = sample_weights[:, None] * features
+    gram = features.T @ wmat + reg
+    return np.linalg.solve(gram, wmat.T @ targets)
+
+
 @dataclass(frozen=True)
 class WordImportance:
     """One word's contribution to the match decision."""
@@ -27,6 +44,7 @@ class WordImportance:
     word: str
     record: int      # 1 or 2
     weight: float    # > 0 pushes toward match, < 0 toward non-match
+    index: int = -1  # position of the word within its record's word list
 
 
 class LimeExplainer:
@@ -55,13 +73,27 @@ class LimeExplainer:
                                       EngineConfig(batch_size=batch_size))
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _perturbed_text(words: list[str], kept: list[str]) -> str:
+        """Text of one perturbed record, never degenerate when avoidable.
+
+        A perturbation that drops every word falls back to the record's
+        first word (an all-empty record would tell the surrogate nothing
+        about any word); a record that tokenized to zero words in the
+        first place has no word to fall back on and stays empty — the
+        other record may still be non-empty and worth explaining.
+        """
+        if kept:
+            return " ".join(kept)
+        return words[0] if words else ""
+
     def _rebuild(self, words1: list[str], words2: list[str],
                  mask: np.ndarray) -> EntityPair:
         kept1 = [w for w, keep in zip(words1, mask[:len(words1)]) if keep]
         kept2 = [w for w, keep in zip(words2, mask[len(words1):]) if keep]
         return EntityPair(
-            EntityRecord.from_dict({"text": " ".join(kept1) or words1[0]}),
-            EntityRecord.from_dict({"text": " ".join(kept2) or words2[0]},
+            EntityRecord.from_dict({"text": self._perturbed_text(words1, kept1)}),
+            EntityRecord.from_dict({"text": self._perturbed_text(words2, kept2)},
                                    source="perturbed"),
             0,
         )
@@ -89,18 +121,17 @@ class LimeExplainer:
         distances = 1.0 - masks.mean(axis=1)
         weights = np.exp(-(distances ** 2) / (self.kernel_width ** 2))
 
-        # Weighted ridge regression: (X'WX + rI)^-1 X'Wy.
+        # Weighted ridge surrogate with an unpenalized intercept.
         features = masks.astype(np.float64)
         features = np.concatenate([features, np.ones((len(features), 1))], axis=1)
-        wmat = weights[:, None] * features
-        gram = features.T @ wmat + self.ridge * np.eye(num_features + 1)
-        coef = np.linalg.solve(gram, wmat.T @ probs)
+        coef = weighted_ridge(features, probs, weights, self.ridge)
 
         importances = []
         for i, word in enumerate(words1):
-            importances.append(WordImportance(word, 1, float(coef[i])))
+            importances.append(WordImportance(word, 1, float(coef[i]), index=i))
         for i, word in enumerate(words2):
-            importances.append(WordImportance(word, 2, float(coef[len(words1) + i])))
+            importances.append(WordImportance(word, 2, float(coef[len(words1) + i]),
+                                              index=i))
         importances.sort(key=lambda w: abs(w.weight), reverse=True)
         return importances
 

@@ -36,11 +36,23 @@ class Tolerance:
     disabled by default because throughput baselines are only meaningful
     on the machine that recorded them; ``health`` trips when any
     :data:`HEALTH_COUNTERS` exceeds the baseline's count.
+
+    ``faithfulness_drop`` and ``agreement_drop`` gate the explain
+    suite's interpretability metrics the same way ``f1_drop`` gates
+    quality: an absolute drop in ``faithfulness_gap`` (how much more
+    AoA top-gamma masking hurts than random masking) respectively
+    ``aoa_lime_spearman`` (LIME/AoA rank agreement) beyond the
+    tolerance trips the watchdog, so a change that silently degrades
+    the model's explanations fails CI like an F1 regression.  Both are
+    disabled by default and only apply when the baseline recorded the
+    metric.
     """
 
     f1_drop: float = 0.01
     throughput_drop: float = 0.0
     health: bool = True
+    faithfulness_drop: float = 0.0
+    agreement_drop: float = 0.0
 
 
 def load_baseline(ref: str, store: RunStore | None = None) -> dict:
@@ -89,6 +101,29 @@ def check_regression(baseline: dict, candidate: dict,
                 f"inference throughput regressed: "
                 f"{base['infer_pairs_per_s']:.1f} -> {have:.1f} pairs/s "
                 f"({rel:.1%} slower > tolerance {tol.throughput_drop:.0%})")
+
+    def gate_metric_drop(metric: str, tolerance: float, label: str) -> None:
+        """Flag an absolute drop of ``metric`` beyond ``tolerance``.
+
+        Applies only when the baseline recorded the metric: non-explain
+        baselines keep gating exactly as before.
+        """
+        if tolerance <= 0 or metric not in base:
+            return
+        if metric not in cand:
+            violations.append(f"candidate has no {metric} metric")
+            return
+        drop = base[metric] - cand[metric]
+        if drop > tolerance:
+            violations.append(
+                f"{label} regressed: {metric} {base[metric]:.4f} -> "
+                f"{cand[metric]:.4f} (drop {drop:.4f} > "
+                f"tolerance {tolerance:.4f})")
+
+    gate_metric_drop("faithfulness_gap", tol.faithfulness_drop,
+                     "explanation faithfulness")
+    gate_metric_drop("aoa_lime_spearman", tol.agreement_drop,
+                     "LIME/AoA agreement")
 
     if tol.health:
         for counter in HEALTH_COUNTERS:

@@ -2,8 +2,9 @@
 
 A :class:`Prober` computes cheap statistics about the optimization
 trajectory — per-layer gradient norms, update-to-weight ratios, head
-saturation, attention entropy per head, and EMBA's AoA ``gamma``
-concentration over RECORD1 tokens — on a sampled subset of training
+saturation, attention entropy per head (plus each head's entropy drift
+from its first sampled value), and EMBA's AoA ``gamma`` concentration
+over RECORD1 tokens — on a sampled subset of training
 steps, and returns them as flat ``probe.*`` channels for the run
 store's time series.
 
@@ -42,6 +43,7 @@ class ProbeConfig:
     update_ratio: bool = True        # per-layer ||Δw|| / ||w|| after Adam
     saturation: bool = True          # head-logit saturation fractions
     attention_entropy: bool = True   # last encoder layer, per head
+    attention_drift: bool = True     # per-head entropy drift vs first sample
     gamma_concentration: bool = True # AoA gamma over RECORD1 tokens
     topk: int = 3                    # top-k mass for gamma concentration
 
@@ -111,6 +113,11 @@ class Prober:
         self.model = model
         self.config = config
         self._groups: dict[str, list] = {}
+        # First sampled per-head attention entropy: the reference the
+        # probe.attn_drift.* channels measure drift against, so the
+        # watchdog sees how far fine-tuning moved each head from its
+        # (pre)trained starting point.
+        self._entropy_ref: np.ndarray | None = None
         for name, param in model.named_parameters():
             self._groups.setdefault(self._group_of(name), []).append(param)
 
@@ -134,12 +141,21 @@ class Prober:
             stats["probe.sat.em"] = float(
                 np.mean(np.abs(logits) > _SAT_LOGIT))
             stats["probe.logit_abs.em"] = float(np.mean(np.abs(logits)))
-        if cfg.attention_entropy and output.attentions:
+        if ((cfg.attention_entropy or cfg.attention_drift)
+                and output.attentions):
             per_head = attention_entropy(output.attentions[-1],
                                          batch.attention_mask)
-            stats["probe.attn_entropy"] = float(per_head.mean())
-            for head, value in enumerate(per_head):
-                stats[f"probe.attn_entropy.h{head}"] = float(value)
+            if cfg.attention_entropy:
+                stats["probe.attn_entropy"] = float(per_head.mean())
+                for head, value in enumerate(per_head):
+                    stats[f"probe.attn_entropy.h{head}"] = float(value)
+            if cfg.attention_drift:
+                if self._entropy_ref is None:
+                    self._entropy_ref = per_head.copy()
+                drift = np.abs(per_head - self._entropy_ref)
+                stats["probe.attn_drift"] = float(drift.mean())
+                for head, value in enumerate(drift):
+                    stats[f"probe.attn_drift.h{head}"] = float(value)
         if cfg.gamma_concentration and output.aoa_gamma is not None:
             ent, mass = gamma_concentration(output.aoa_gamma, batch.mask1,
                                             topk=cfg.topk)

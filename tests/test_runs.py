@@ -230,6 +230,49 @@ class TestProbeMath:
         probe.config = cfg
         assert [s for s in range(9) if probe.should_sample(s)] == [0, 4, 8]
 
+    def test_attn_drift_measured_against_first_sample(self):
+        """probe.attn_drift.h* is |entropy - first sampled entropy|."""
+
+        class _Out:
+            def __init__(self, attn):
+                self.attentions = [attn]
+                self.aoa_gamma = None
+
+        class _Batch:
+            attention_mask = np.ones((1, 3))
+
+        probe = Prober.__new__(Prober)
+        probe.config = ProbeConfig(interval=1, saturation=False,
+                                   gamma_concentration=False)
+        probe._entropy_ref = None
+        uniform = np.full((1, 1, 3, 3), 1 / 3)         # entropy ln 3
+        point = np.zeros((1, 1, 3, 3))
+        point[..., 0] = 1.0                            # entropy 0
+        first = probe.forward_stats(_Out(uniform), _Batch())
+        assert first["probe.attn_drift"] == pytest.approx(0.0)
+        second = probe.forward_stats(_Out(point), _Batch())
+        assert second["probe.attn_drift.h0"] == pytest.approx(np.log(3))
+        # The reference stays pinned to the first sample.
+        third = probe.forward_stats(_Out(uniform), _Batch())
+        assert third["probe.attn_drift"] == pytest.approx(0.0)
+
+    def test_attn_drift_disabled_by_config(self):
+        class _Out:
+            def __init__(self):
+                self.attentions = [np.full((1, 1, 3, 3), 1 / 3)]
+                self.aoa_gamma = None
+
+        class _Batch:
+            attention_mask = np.ones((1, 3))
+
+        probe = Prober.__new__(Prober)
+        probe.config = ProbeConfig(interval=1, saturation=False,
+                                   gamma_concentration=False,
+                                   attention_drift=False)
+        probe._entropy_ref = None
+        stats = probe.forward_stats(_Out(), _Batch())
+        assert not any(key.startswith("probe.attn_drift") for key in stats)
+
 
 class TestProbesInTraining:
     def test_probe_channels_recorded(self, splits, tmp_path):
@@ -244,12 +287,14 @@ class TestProbesInTraining:
         channels = record.channels()
         for expected in ("loss", "lr", "valid_f1", "probe.grad_norm",
                          "probe.sat.em", "probe.attn_entropy",
+                         "probe.attn_drift",
                          "probe.gamma_entropy", "probe.gamma_top3_mass",
                          "probe.update_ratio.em_head"):
             assert expected in channels, expected
-        # Per-head attention entropy for every head of the last layer.
-        heads = [c for c in channels if c.startswith("probe.attn_entropy.h")]
-        assert len(heads) == CFG.num_heads
+        # Per-head attention entropy and drift for every last-layer head.
+        for prefix in ("probe.attn_entropy.h", "probe.attn_drift.h"):
+            heads = [c for c in channels if c.startswith(prefix)]
+            assert len(heads) == CFG.num_heads, prefix
         # Gradient groups split the encoder one level deep.
         assert "probe.grad_norm.encoder.embeddings" in channels
 
@@ -320,6 +365,39 @@ class TestWatchdog:
         violations = check_regression(base, cand,
                                       Tolerance(throughput_drop=0.2))
         assert any("throughput regressed" in v for v in violations)
+
+    def test_faithfulness_gate(self):
+        base = _manifest(em_f1=0.8, faithfulness_gap=0.24)
+        cand = _manifest(em_f1=0.8, faithfulness_gap=0.05)
+        # Off by default; trips only under an explicit tolerance.
+        assert check_regression(base, cand) == []
+        violations = check_regression(
+            base, cand, Tolerance(faithfulness_drop=0.05))
+        assert any("faithfulness regressed" in v for v in violations)
+        assert check_regression(
+            base, cand, Tolerance(faithfulness_drop=0.5)) == []
+
+    def test_faithfulness_gate_requires_candidate_metric(self):
+        base = _manifest(em_f1=0.8, faithfulness_gap=0.24)
+        violations = check_regression(
+            base, _manifest(em_f1=0.8), Tolerance(faithfulness_drop=0.05))
+        assert any("no faithfulness_gap" in v for v in violations)
+
+    def test_faithfulness_gate_skips_non_explain_baselines(self):
+        """A baseline that never recorded the metric cannot gate on it."""
+        base = _manifest(em_f1=0.8)
+        cand = _manifest(em_f1=0.8)
+        assert check_regression(
+            base, cand, Tolerance(faithfulness_drop=0.05,
+                                  agreement_drop=0.05)) == []
+
+    def test_agreement_gate(self):
+        base = _manifest(em_f1=0.8, aoa_lime_spearman=0.4)
+        cand = _manifest(em_f1=0.8, aoa_lime_spearman=-0.1)
+        assert check_regression(base, cand) == []
+        violations = check_regression(
+            base, cand, Tolerance(agreement_drop=0.3))
+        assert any("LIME/AoA agreement regressed" in v for v in violations)
 
     def test_load_baseline_from_file_and_store(self, tmp_path):
         store = RunStore(tmp_path / "store")
