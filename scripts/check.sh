@@ -16,7 +16,10 @@
 # and the explain stage (explain test battery + attention-faithfulness
 # bench, gated against tests/baselines/explain_bench.json so
 # interpretability regressions — faithfulness gap, LIME/AoA agreement —
-# trip the watchdog like F1 regressions).
+# trip the watchdog like F1 regressions), and the slo stage (a short
+# traced 2-shard serve workload recorded into the registry and gated by
+# `repro slo check` against the committed tests/baselines/serve_slo.json
+# objectives).
 #
 #   bash scripts/check.sh
 #
@@ -68,6 +71,13 @@ REPRO_RUNS_DIR="$RUNS_TMP" python -m repro.cli runs check bench-serve \
     --baseline tests/baselines/serve_bench.json \
     --f1-tol 0 --throughput-tol 0.5
 
+echo "== slo: traced serve workload gated by repro slo check =="
+REPRO_RUNS_DIR="$RUNS_TMP" python scripts/serve_workload.py \
+    --requests 60 --shards 2 --name slo-smoke \
+    --spec tests/baselines/serve_slo.json
+REPRO_RUNS_DIR="$RUNS_TMP" python -m repro.cli slo check slo-smoke \
+    --spec tests/baselines/serve_slo.json
+
 echo "== stream: durable-resolution suite + 100k ingest/recovery bench =="
 python -m pytest -q tests/test_stream.py
 REPRO_RUNS_DIR="$RUNS_TMP" python -m pytest -q benchmarks/bench_stream.py --record
@@ -96,4 +106,5 @@ cat results/ext_runs.txt
 cat results/cascade_frontier.txt
 cat results/explain_faithfulness.txt
 cat results/serve_bench.txt
+cat results/serve_trace.txt
 cat results/stream_bench.txt

@@ -1,0 +1,141 @@
+"""Traced serve smoke workload for the ``check.sh`` SLO gate.
+
+Boots a sharded :class:`~repro.serve.daemon.MatchServer` over a tiny
+random-weight dual-encoder (same fixture recipe as ``tests/test_serve``),
+drives a pipelined, trace-tagged request burst through it, and seals the
+session as a ``kind="serve"`` run in the registry.  ``check.sh`` then
+gates the recorded run with::
+
+    repro slo check slo-smoke --spec tests/baselines/serve_slo.json
+
+The workload is deliberately small (a few hundred pairs through two
+forked shard workers) but exercises the full observability path: per-
+process trace files, cross-process merge, live SLO evaluation inside the
+daemon, and post-hoc auditing of the sealed manifest + breach events.
+
+Exit codes: 0 on success, 1 when the merged trace is missing expected
+processes or stages (the smoke invariant, independent of the SLO gate).
+"""
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import obs
+from repro.bert.config import BertConfig
+from repro.bert.model import BertModel
+from repro.data.loader import PairEncoder
+from repro.engine import EngineConfig, InferenceEngine
+from repro.models import EmbaDual
+from repro.runs import RunStore, recording
+from repro.serve import (
+    MatchScorer,
+    MatchServer,
+    ServeClient,
+    ServeConfig,
+    ServerHandle,
+    SloSpec,
+)
+from repro.text import WordPieceTokenizer, train_wordpiece
+
+VOCAB_WORDS = ("sandisk ultra compactflash card 4gb retail transcend 300x "
+               "samsung evo ssd 1tb lexar pro sd 32gb usb stick flash").split()
+
+CFG = BertConfig(vocab_size=400, hidden_size=16, num_layers=1, num_heads=2,
+                 intermediate_size=32, max_position=96, dropout=0.0,
+                 attention_dropout=0.0)
+
+
+def _scorer_factory():
+    corpus = [" ".join(VOCAB_WORDS[i:i + 6])
+              for i in range(0, len(VOCAB_WORDS), 3)] * 2
+    tokenizer = WordPieceTokenizer(train_wordpiece(corpus, vocab_size=400))
+    encoder = PairEncoder(tokenizer, max_length=CFG.max_position)
+    cfg = CFG.with_vocab(len(tokenizer.vocab))
+    bert = BertModel(cfg, np.random.default_rng(0))
+    model = EmbaDual(bert, cfg.hidden_size, 4, np.random.default_rng(1))
+    model.eval()
+    engine_factory = lambda m: InferenceEngine(  # noqa: E731
+        m, encoder, EngineConfig(batch_size=8))
+    return MatchScorer(engine_factory, model)
+
+
+def _requests(rng, count):
+    records = []
+    for _ in range(8):
+        n = int(rng.integers(2, 8))
+        records.append({"title": " ".join(rng.choice(VOCAB_WORDS, size=n))})
+    return [(records[int(rng.integers(8))], records[int(rng.integers(8))])
+            for _ in range(count)]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=60)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--name", default="slo-smoke")
+    parser.add_argument("--spec", default="tests/baselines/serve_slo.json")
+    parser.add_argument("--trace-dir", default="")
+    parser.add_argument("--root", default=None,
+                        help="run-registry root (default: REPRO_RUNS_DIR)")
+    args = parser.parse_args(argv)
+
+    spec = SloSpec.load(args.spec)
+    trace_dir = args.trace_dir or tempfile.mkdtemp(prefix="repro-slo-smoke-")
+    trace_path = str(Path(trace_dir) / "trace.jsonl")
+
+    # Enable tracing BEFORE the server forks its shard workers so every
+    # child inherits the trace config and writes its own pid-suffixed file.
+    obs.enable(trace_path)
+    server = MatchServer(
+        _scorer_factory,
+        ServeConfig(shards=args.shards, slo=spec, window_s=spec.window_s))
+
+    store = RunStore(args.root) if args.root else RunStore()
+    writer = store.create(name=args.name, kind="serve",
+                          config={"shards": args.shards,
+                                  "requests": args.requests,
+                                  "slo": spec.to_dict()},
+                          argv=list(argv) if argv else sys.argv[1:])
+    rng = np.random.default_rng(7)
+    with recording(writer):
+        with ServerHandle(server) as (host, port):
+            with ServeClient(host, port) as client:
+                responses = client.match_many(
+                    _requests(rng, args.requests), trace="smoke")
+                errors = sum(1 for r in responses if "error" in r)
+        server.check_slo()
+        writer.finish(**server.final_metrics())
+    obs.disable()
+
+    merged = obs.merge_traces(trace_dir)
+    pids = {record.pid for record in merged.records}
+    names = {record.name for record in merged.records}
+    print(f"serve workload: {args.requests} requests "
+          f"({errors} errors) through {args.shards} shards; "
+          f"run {writer.manifest['id']} ({args.name}) sealed")
+    print(f"trace: {len(merged.records)} spans from {len(pids)} processes, "
+          f"{len(merged.trace_ids())} trace ids in {trace_dir}")
+
+    want = args.shards + 1  # parent + one file per forked worker
+    if len(pids) < want:
+        print(f"FAIL: expected spans from >= {want} processes, "
+              f"saw {sorted(pids)}", file=sys.stderr)
+        return 1
+    stages = {"serve.request", "serve.queue_wait", "serve.score_wait",
+              "serve.write", "serve.batch"}
+    missing = stages - names
+    if missing:
+        print(f"FAIL: merged trace missing stages: {sorted(missing)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

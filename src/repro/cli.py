@@ -35,7 +35,19 @@ Commands
                                runtime invariants, golden digests, parity
 - ``trace FILE``               render a JSON-lines trace (written via
                                ``--trace-file`` or ``REPRO_TRACE=<path>``)
-                               as a span tree plus the metrics table
+                               as a span tree plus the metrics table;
+                               ``--merge`` reassembles the pid-suffixed
+                               per-process files of a traced serve run
+                               into one cross-process tree, and
+                               ``--trace-id ID`` renders one request's
+                               full queue→batch→shard→forward journey
+                               with per-stage latency attribution
+- ``top``                      poll a running daemon's windowed live
+                               telemetry (p50/p99 latency, throughput,
+                               rejection rate, per-worker status)
+- ``slo check REF --spec S``   audit a recorded serve run against a
+                               declarative SLO spec; non-zero exit on
+                               breach (CI gate)
 - ``runs list|show|diff|check|prune``  the persistent run registry:
                                list recorded runs, inspect one (manifest,
                                training curves, probe channels), diff two,
@@ -181,11 +193,19 @@ def _cmd_profile_cascade(args) -> int:
 
 def _cmd_serve(args) -> int:
     """Run the matching daemon until interrupted (or a shutdown op)."""
+    import contextlib
     import time
 
-    from repro.serve import MatchServer, ServeConfig, ServerHandle
+    from repro.serve import MatchServer, ServeConfig, ServerHandle, SloSpec
     from repro.serve.scorer import factory_from_spec
 
+    slo = None
+    if args.slo:
+        try:
+            slo = SloSpec.load(args.slo)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"bad SLO spec {args.slo}: {exc}", file=sys.stderr)
+            return 2
     factory = factory_from_spec(
         args.dataset, args.size, args.model, seed=args.seed,
         batch_size=args.batch_size, threshold=args.threshold,
@@ -193,18 +213,47 @@ def _cmd_serve(args) -> int:
     config = ServeConfig(
         host=args.host, port=args.port, max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1000.0, max_queue=args.max_queue,
-        shards=args.shards, runs_root=args.runs_root or None)
+        shards=args.shards, runs_root=args.runs_root or None,
+        window_s=args.window_s, slo=slo)
     server = MatchServer(factory, config)
-    with ServerHandle(server) as (host, port):
-        print(f"serving {args.model} ({args.dataset}/{args.size}) "
-              f"on {host}:{port} — shards={args.shards} "
-              f"max_batch={args.max_batch} max_delay={args.max_delay_ms}ms",
-              flush=True)
-        try:
-            while server.running:
-                time.sleep(0.5)
-        except KeyboardInterrupt:
-            pass
+
+    # --record registers the serve session as a kind="serve" run: live
+    # slo_breach events stream into its series while it runs, and the
+    # final lifetime metrics (the shape `repro slo check` audits) seal
+    # the manifest at shutdown.  Shard workers fork *before* recording
+    # starts and are covered by the runs fork hook either way.
+    writer = None
+    if args.record:
+        from repro.runs import RunStore, recording
+
+        writer = RunStore(args.runs_root or None).create(
+            name=args.name or f"serve-{args.model}-{args.dataset}",
+            kind="serve",
+            config={"dataset": args.dataset, "size": args.size,
+                    "model": args.model, "shards": args.shards,
+                    "max_batch": args.max_batch,
+                    "max_delay_ms": args.max_delay_ms,
+                    "max_queue": args.max_queue, "window_s": args.window_s,
+                    "slo": slo.to_dict() if slo else None},
+            argv=list(sys.argv), dataset=args.dataset, model=args.model,
+            seed=args.seed)
+    scope = recording(writer) if writer is not None else contextlib.nullcontext()
+    with scope:
+        with ServerHandle(server) as (host, port):
+            print(f"serving {args.model} ({args.dataset}/{args.size}) "
+                  f"on {host}:{port} — shards={args.shards} "
+                  f"max_batch={args.max_batch} "
+                  f"max_delay={args.max_delay_ms}ms"
+                  + (f" slo={args.slo}" if slo else ""),
+                  flush=True)
+            try:
+                while server.running:
+                    time.sleep(0.5)
+            except KeyboardInterrupt:
+                pass
+        if writer is not None:
+            writer.finish(**server.final_metrics())
+            print(f"recorded serve run {writer.id}", flush=True)
     return 0
 
 
@@ -344,7 +393,26 @@ def _cmd_selfcheck(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    """Render a JSON-lines trace file: span tree + metrics table."""
+    """Render a JSON-lines trace file: span tree + metrics table.
+
+    With ``--merge`` the file (or directory) is treated as one process's
+    slice of a multi-process trace: its pid-suffixed siblings are merged
+    into a single causally ordered cross-process tree, optionally
+    filtered to one request's journey with ``--trace-id``.
+    """
+    if args.merge:
+        from repro.obs import merge_traces, render_merged
+
+        try:
+            merged = merge_traces(args.file)
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(render_merged(merged, trace_id=args.trace_id or None))
+        return 0
+    if args.trace_id:
+        print("--trace-id requires --merge", file=sys.stderr)
+        return 2
     from repro.obs import read_jsonl, render_metrics, tree_summary
 
     try:
@@ -362,6 +430,68 @@ def _cmd_trace(args) -> int:
             print(render_metrics(metrics))
         else:
             print("(no metrics captured in trace)")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    """Poll the daemon's ``metrics`` op and render a live telemetry view."""
+    import time
+
+    from repro.serve import ServeClient, render_top
+
+    try:
+        client = ServeClient(args.host, args.port, timeout=args.timeout)
+    except OSError as exc:
+        print(f"cannot connect to {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    frames = 0
+    try:
+        while True:
+            try:
+                payload = client.metrics()
+            except (ConnectionError, OSError) as exc:
+                print(f"connection lost: {exc}", file=sys.stderr)
+                return 1
+            if frames and args.clear and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            print(render_top(payload), flush=True)
+            frames += 1
+            if args.count and frames >= args.count:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
+
+
+def _cmd_slo_check(args) -> int:
+    """Post-hoc SLO gate: non-zero exit when a recorded serve run breached."""
+    from repro.serve import SloSpec, check_run
+
+    try:
+        spec = SloSpec.load(args.spec)
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"bad SLO spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    store = _runs_store(args)
+    try:
+        record = store.resolve(args.ref)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    violations = check_run(record.manifest, spec, record.events())
+    run_id = record.manifest.get("id", args.ref)
+    if violations:
+        print(f"SLO BREACH: {run_id} vs {args.spec}")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    metrics = record.manifest.get("metrics", {})
+    print(f"ok: {run_id} within SLO {args.spec} "
+          f"(p99 {metrics.get('latency_p99_ms', float('nan')):.2f}ms, "
+          f"reject-rate {metrics.get('rejection_rate', float('nan')):.4f})")
     return 0
 
 
@@ -465,6 +595,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace-file", default="",
                        help="stream the trace to this file as JSON lines "
                             "(implies --trace; read back with `repro trace`)")
+
+    def add_root(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--root", default="",
+                       help="run store root (default: REPRO_RUNS_DIR or "
+                            "<cache>/runs)")
 
     def add_record_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--epochs", type=int, default=0,
@@ -591,6 +726,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--runs-root", default="",
                        help="run store root for --weights and swap ops "
                             "(default: REPRO_RUNS_DIR or <cache>/runs)")
+    serve.add_argument("--window-s", type=float, default=30.0,
+                       help="live-telemetry window for the metrics op / "
+                            "`repro top` (seconds)")
+    serve.add_argument("--slo", default="",
+                       help="SLO spec JSON (see docs/operations.md); "
+                            "evaluated every second over the window, "
+                            "breaches counted + recorded as run events")
+    serve.add_argument("--record", action="store_true",
+                       help="register this serve session as a kind='serve' "
+                            "run (slo_breach events + final metrics), "
+                            "auditable with `repro slo check`")
+    serve.add_argument("--name", default="",
+                       help="name for the recorded run "
+                            "(default: serve-MODEL-DATASET)")
     add_trace_flags(serve)
     serve.set_defaults(fn=_cmd_serve)
 
@@ -653,18 +802,54 @@ def build_parser() -> argparse.ArgumentParser:
                                     "or REPRO_TRACE=<path>")
     trace.add_argument("--no-metrics", action="store_true",
                        help="omit the metrics table")
+    trace.add_argument("--merge", action="store_true",
+                       help="merge this file's pid-suffixed siblings (or a "
+                            "whole directory) into one cross-process tree")
+    trace.add_argument("--trace-id", default="",
+                       help="with --merge: render one request's full "
+                            "journey + per-stage latency attribution")
     trace.set_defaults(fn=_cmd_trace)
+
+    top = sub.add_parser(
+        "top",
+        help="live service telemetry: poll a running daemon's windowed "
+             "p50/p99/throughput/rejection-rate view",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7431)
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between polls")
+    top.add_argument("--count", type=int, default=0,
+                     help="stop after N frames (0 = until interrupted)")
+    top.add_argument("--timeout", type=float, default=10.0,
+                     help="socket timeout per poll")
+    top.add_argument("--no-clear", dest="clear", action="store_false",
+                     help="do not clear the screen between frames")
+    top.set_defaults(fn=_cmd_top)
+
+    slo = sub.add_parser(
+        "slo",
+        help="service-level objectives: audit recorded serve runs",
+    )
+    ssub = slo.add_subparsers(dest="slo_command", required=True)
+    slo_check = ssub.add_parser(
+        "check",
+        help="exit non-zero when a recorded serve run breached the spec "
+             "(final metrics + live slo_breach events)",
+    )
+    slo_check.add_argument("ref", nargs="?", default="latest",
+                           help="serve run id, name, or 'latest'")
+    slo_check.add_argument("--spec", required=True,
+                           help="SLO spec JSON (p99_ms, rejection_rate, "
+                                "max_queue_depth, worker_restarts, ...)")
+    add_root(slo_check)
+    slo_check.set_defaults(fn=_cmd_slo_check)
 
     runs = sub.add_parser(
         "runs",
         help="the persistent run registry: list/show/diff/check/prune",
     )
     rsub = runs.add_subparsers(dest="runs_command", required=True)
-
-    def add_root(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--root", default="",
-                       help="run store root (default: REPRO_RUNS_DIR or "
-                            "<cache>/runs)")
 
     runs_list = rsub.add_parser("list", help="table of recorded runs")
     runs_list.add_argument("--kind", default="",

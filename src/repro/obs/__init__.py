@@ -30,6 +30,14 @@ CLI subcommand, which round-trips the JSON-lines sink.
 
 from __future__ import annotations
 
+import os as _os
+
+from repro.obs.collect import (
+    MergedTrace,
+    merge_traces,
+    render_merged,
+    stage_breakdown,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     LEN_BUCKETS,
@@ -38,18 +46,41 @@ from repro.obs.metrics import (
     TIME_BUCKETS,
     Histogram,
     MetricsRegistry,
+    WindowedCounter,
+    WindowedHistogram,
     render_metrics,
 )
 from repro.obs.sinks import JsonlSink, aggregate, read_jsonl, tree_summary
-from repro.obs.trace import NOOP_SPAN, STATE, Span, SpanRecord, span
+from repro.obs.trace import (
+    NOOP_SPAN,
+    STATE,
+    Span,
+    SpanRecord,
+    absorb,
+    current_trace,
+    drain_records,
+    emit_span,
+    span,
+    trace,
+)
 
 __all__ = [
     "DEFAULT_BUCKETS", "LEN_BUCKETS", "SIZE_BUCKETS", "TIME_BUCKETS",
-    "Histogram", "JsonlSink", "MetricsRegistry", "Span", "SpanRecord",
-    "aggregate", "disable", "enable", "enabled", "gauge", "inc", "observe",
-    "read_jsonl", "records", "render_metrics", "render_summary", "reset",
-    "snapshot", "span", "tree_summary",
+    "Histogram", "JsonlSink", "MergedTrace", "MetricsRegistry", "Span",
+    "SpanRecord", "WindowedCounter", "WindowedHistogram", "absorb",
+    "aggregate", "current_trace", "disable", "drain_records", "emit_span",
+    "enable", "enabled", "foreign_records", "gauge", "inc", "merge_traces",
+    "observe", "read_jsonl", "records", "render_merged", "render_metrics",
+    "render_summary", "reset", "snapshot", "span", "stage_breakdown",
+    "trace", "tree_summary",
 ]
+
+# Forked children (serve shard workers) must never keep recording into
+# the parent's buffer, open-span stack, or sink file descriptor.  The
+# hook keeps the enabled flag and time origin but clears everything
+# else and re-keys file sinks to pid-suffixed paths; see
+# TraceState.fork_reset.
+_os.register_at_fork(after_in_child=lambda: STATE.fork_reset())
 
 
 def enabled() -> bool:
@@ -98,6 +129,11 @@ def reset() -> None:
 def records() -> list[SpanRecord]:
     """The finished-span buffer (a copy, oldest first)."""
     return list(STATE.records)
+
+
+def foreign_records() -> list[SpanRecord]:
+    """Spans absorbed from worker replies (a copy; see :func:`absorb`)."""
+    return list(STATE.foreign)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,269 @@
+"""Trace collector: merge per-process trace files into one tree.
+
+A traced ``repro serve`` run leaves one JSONL file per process: the
+daemon writes ``trace.jsonl`` and every forked ``ShardWorker`` re-keys
+its sink to ``trace.pid<PID>.jsonl`` (see ``TraceState.fork_reset``).
+:func:`merge_traces` reassembles them into a single causally ordered
+cross-process tree:
+
+- within a process, spans link through their ``parent`` index as usual;
+- across processes, a worker's ``serve.batch`` root carries a ``link``
+  attribute naming the dispatch that sent it, and the parent's
+  ``serve.dispatch`` span carries the matching ``link_id`` — the merger
+  grafts the worker subtree under that dispatch span;
+- all span ``start`` offsets share one timeline because the fork hook
+  keeps the parent's perf_counter ``origin`` (CLOCK_MONOTONIC is
+  system-wide on Linux), so siblings sort causally by ``start``.
+
+Worker files may end mid-line (a shard killed by fault injection or a
+crash), so merging reads tolerantly — a torn tail is dropped, not
+fatal; ``repro trace FILE`` without ``--merge`` keeps the strict
+reader.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.jsonl import iter_jsonl
+from repro.obs.trace import SpanRecord
+
+Key = tuple[int, int]  # (pid, index) — globally unique span identity
+
+
+class MergedTrace:
+    """The reassembled cross-process span forest."""
+
+    def __init__(self, records: list[SpanRecord], files: list[Path],
+                 metrics: dict[int, dict]):
+        self.records = records
+        self.files = files
+        self.metrics = metrics      # pid -> final metrics snapshot, if present
+        self.by_key: dict[Key, SpanRecord] = {
+            (r.pid, r.index): r for r in records}
+        self.children: dict[Key, list[Key]] = {}
+        self.roots: list[Key] = []
+        self._build()
+
+    def _build(self) -> None:
+        # Cross-process graft points: link_id attr -> owning span key.
+        link_targets: dict[str, Key] = {}
+        for key, record in self.by_key.items():
+            link_id = record.attrs.get("link_id")
+            if link_id:
+                link_targets.setdefault(str(link_id), key)
+        for key, record in self.by_key.items():
+            parent: Key | None = None
+            if record.parent != -1 and (record.pid, record.parent) in self.by_key:
+                parent = (record.pid, record.parent)
+            else:
+                link = record.attrs.get("link")
+                if link and str(link) in link_targets:
+                    target = link_targets[str(link)]
+                    if target != key:
+                        parent = target
+            if parent is None:
+                self.roots.append(key)
+            else:
+                self.children.setdefault(parent, []).append(key)
+        order = lambda key: (self.by_key[key].start, key)
+        self.roots.sort(key=order)
+        for kids in self.children.values():
+            kids.sort(key=order)
+
+    def pids(self) -> list[int]:
+        return sorted({r.pid for r in self.records})
+
+    def trace_ids(self) -> list[str]:
+        """Every distinct trace id seen, in first-appearance-by-start order."""
+        seen: dict[str, float] = {}
+        for record in self.records:
+            ids = [record.trace_id] if record.trace_id else []
+            ids.extend(str(t) for t in record.attrs.get("trace_ids", ()))
+            for tid in ids:
+                if tid and (tid not in seen or record.start < seen[tid]):
+                    seen[tid] = record.start
+        return sorted(seen, key=lambda t: seen[t])
+
+    def _matches(self, key: Key, trace_id: str) -> bool:
+        record = self.by_key[key]
+        if record.trace_id == trace_id:
+            return True
+        return trace_id in [str(t) for t in record.attrs.get("trace_ids", ())]
+
+    def select(self, trace_id: str) -> set[Key]:
+        """Keys belonging to one request: matching spans + their subtrees.
+
+        Descendants are included even when untagged — a worker's
+        ``engine.*`` spans under a matching ``serve.batch`` belong to
+        every request in that batch.
+        """
+        selected: set[Key] = set()
+
+        def sweep(key: Key, inherited: bool) -> None:
+            hit = inherited or self._matches(key, trace_id)
+            if hit:
+                selected.add(key)
+            for kid in self.children.get(key, ()):
+                sweep(kid, hit)
+
+        for root in self.roots:
+            sweep(root, False)
+        return selected
+
+
+def _trace_files(path: str | Path) -> list[Path]:
+    """Resolve a merge target to the set of per-process files.
+
+    A directory merges every ``*.jsonl`` inside it; a file merges itself
+    plus its pid-suffixed siblings (``trace.jsonl`` + ``trace.pid*.jsonl``).
+    """
+    path = Path(path)
+    if path.is_dir():
+        files = sorted(path.glob("*.jsonl"))
+    else:
+        files = [path] if path.exists() else []
+        files += sorted(p for p in path.parent.glob(f"{path.stem}.pid*{path.suffix}")
+                        if p != path)
+    if not files:
+        raise FileNotFoundError(f"no trace files found at {path}")
+    return files
+
+
+def merge_traces(path: str | Path) -> MergedTrace:
+    """Load and reassemble per-process trace files (see module docstring)."""
+    files = _trace_files(path)
+    records: list[SpanRecord] = []
+    seen: set[Key] = set()
+    metrics: dict[int, dict] = {}
+    for file in files:
+        file_pid = 0
+        for line in iter_jsonl(file, corrupt="skip", tail="tolerate"):
+            kind = line.payload.get("kind")
+            if kind == "span":
+                record = SpanRecord.from_dict(line.payload)
+                key = (record.pid, record.index)
+                if key in seen:
+                    continue
+                seen.add(key)
+                records.append(record)
+                file_pid = record.pid
+            elif kind == "metrics":
+                snapshot = {k: v for k, v in line.payload.items() if k != "kind"}
+                metrics[file_pid] = snapshot
+    return MergedTrace(records, files, metrics)
+
+
+def stage_breakdown(merged: MergedTrace,
+                    keys: Iterable[Key] | None = None) -> dict[str, dict]:
+    """Per-span-name latency attribution: ``{name: {count, wall, mean}}``."""
+    out: dict[str, dict] = {}
+    selected = set(keys) if keys is not None else None
+    for record in merged.records:
+        if selected is not None and (record.pid, record.index) not in selected:
+            continue
+        entry = out.setdefault(record.name, {"count": 0, "wall": 0.0})
+        entry["count"] += 1
+        entry["wall"] += record.wall
+    for entry in out.values():
+        entry["mean"] = entry["wall"] / entry["count"]
+    return out
+
+
+def _render_subtree(merged: MergedTrace, key: Key, depth: int,
+                    lines: list[str], selected: set[Key] | None) -> None:
+    if selected is not None and key not in selected:
+        return
+    record = merged.by_key[key]
+    indent = "  " * depth
+    label = f"{indent}{record.name}"
+    timing = (f"start=+{record.start * 1e3:10.2f}ms "
+              f"wall={record.wall * 1e3:9.2f}ms")
+    suffix = f"  pid={record.pid}"
+    if record.trace_id:
+        suffix += f" trace={record.trace_id}"
+    if record.status != "ok":
+        suffix += f" status={record.status}"
+    shown = {k: v for k, v in record.attrs.items()
+             if k not in ("link", "link_id", "trace_ids")}
+    if shown:
+        suffix += "  [" + " ".join(f"{k}={v}" for k, v in shown.items()) + "]"
+    lines.append(f"{label:<40} {timing}{suffix}")
+    for kid in merged.children.get(key, ()):
+        _render_subtree(merged, kid, depth + 1, lines, selected)
+
+
+def _collapse_subtree(merged: MergedTrace, key: Key, path: str, depth: int,
+                      stats: dict[str, dict], order: list[str],
+                      meta: dict[str, tuple[int, int]]) -> None:
+    record = merged.by_key[key]
+    here = f"{path}/{record.name}" if path else record.name
+    if here not in stats:
+        stats[here] = {"count": 0, "wall": 0.0, "errors": 0}
+        order.append(here)
+        meta[here] = (depth, record.pid)
+    entry = stats[here]
+    entry["count"] += 1
+    entry["wall"] += record.wall
+    entry["errors"] += 1 if record.status != "ok" else 0
+    for kid in merged.children.get(key, ()):
+        _collapse_subtree(merged, kid, here, depth + 1, stats, order, meta)
+
+
+def render_merged(merged: MergedTrace, trace_id: str | None = None) -> str:
+    """Human-readable view of a merged trace.
+
+    Without ``trace_id``: the whole forest, siblings collapsed by name
+    path (like ``tree_summary``) with per-path counts and summed wall —
+    the service-level shape.  With ``trace_id``: the full uncollapsed
+    journey of that one request, every span on its own line, plus a
+    per-stage latency table.
+    """
+    if not merged.records:
+        return "(no spans recorded)"
+    header = [
+        f"merged {len(merged.files)} trace file(s), "
+        f"{len(merged.records)} spans, pids={merged.pids()}"
+    ]
+    if trace_id is not None:
+        selected = merged.select(trace_id)
+        if not selected:
+            known = ", ".join(merged.trace_ids()[:8]) or "(none)"
+            return "\n".join(header + [
+                f"trace id {trace_id!r} not found; known ids: {known}"])
+        lines = header + [f"trace {trace_id}:"]
+        for root in merged.roots:
+            _render_subtree(merged, root, 1, lines, selected)
+        lines.append("")
+        lines.append("per-stage latency:")
+        for name, entry in sorted(stage_breakdown(merged, selected).items(),
+                                  key=lambda kv: -kv[1]["wall"]):
+            lines.append(f"  {name:<28} x{entry['count']:<4d} "
+                         f"wall={entry['wall'] * 1e3:9.2f}ms "
+                         f"mean={entry['mean'] * 1e3:8.2f}ms")
+        return "\n".join(lines)
+
+    stats: dict[str, dict] = {}
+    order: list[str] = []
+    meta: dict[str, tuple[int, int]] = {}
+    for root in merged.roots:
+        _collapse_subtree(merged, root, "", 0, stats, order, meta)
+    lines = header
+    for path in order:
+        entry = stats[path]
+        depth, pid = meta[path]
+        name = path.rsplit("/", 1)[-1]
+        label = f"{'  ' * depth}{name}"
+        timing = f"wall={entry['wall'] * 1e3:9.2f}ms"
+        if entry["count"] > 1:
+            timing = f"x{entry['count']:<5d} {timing}"
+        suffix = f"  pid={pid}"
+        if entry["errors"]:
+            suffix += f" errors={entry['errors']}"
+        lines.append(f"{label:<40} {timing}{suffix}")
+    ids = merged.trace_ids()
+    if ids:
+        lines.append(f"{len(ids)} trace id(s); filter with --trace-id "
+                     f"(e.g. {ids[0]})")
+    return "\n".join(lines)

@@ -13,6 +13,7 @@ enabled flag first and returns immediately when telemetry is off.
 from __future__ import annotations
 
 import math
+import time as _time
 
 # Fixed boundary sets for the repo's common histogram shapes.  A value
 # lands in the first bucket whose upper bound is >= value; anything
@@ -108,6 +109,145 @@ class MetricsRegistry:
 
 
 REGISTRY = MetricsRegistry()
+
+
+# ----------------------------------------------------------------------
+# Windowed instruments: rolling time-bucketed rings for live telemetry.
+#
+# The serve daemon reports p50/p99/throughput/rejection-rate over the
+# *last N seconds*, not over its lifetime.  Both instruments slice the
+# window into fixed-width slots held in a ring; a slot is lazily zeroed
+# when its epoch comes around again, so neither needs a reaper thread.
+# The clock is injectable (same pattern as serve.BatchQueue) so expiry
+# is testable with tests.helpers.FakeClock.
+# ----------------------------------------------------------------------
+
+
+class _Ring:
+    """Shared slot bookkeeping: maps *now* to a lazily-recycled slot."""
+
+    __slots__ = ("window", "slots", "width", "clock", "epochs")
+
+    def __init__(self, window: float, slots: int, clock):
+        if window <= 0 or slots < 1:
+            raise ValueError(f"window must be > 0 and slots >= 1: {window}, {slots}")
+        self.window = float(window)
+        self.slots = int(slots)
+        self.width = self.window / self.slots
+        self.clock = clock
+        self.epochs = [-1] * self.slots  # global slot number last written
+
+    def slot_at(self, now: float) -> tuple[int, int, bool]:
+        """(position, epoch, recycled) for the slot covering ``now``."""
+        epoch = int(now / self.width)
+        pos = epoch % self.slots
+        recycled = self.epochs[pos] != epoch
+        if recycled:
+            self.epochs[pos] = epoch
+        return pos, epoch, recycled
+
+    def live_positions(self, now: float):
+        """Positions whose slot still falls inside the trailing window."""
+        floor = int(now / self.width) - self.slots + 1
+        return [i for i, epoch in enumerate(self.epochs) if epoch >= floor]
+
+
+class WindowedCounter:
+    """Counter over a rolling time window (e.g. requests in last 30s)."""
+
+    __slots__ = ("_ring", "_values")
+
+    def __init__(self, window: float = 30.0, slots: int = 30,
+                 clock=_time.monotonic):
+        self._ring = _Ring(window, slots, clock)
+        self._values = [0.0] * self._ring.slots
+
+    @property
+    def window(self) -> float:
+        return self._ring.window
+
+    def inc(self, value: float = 1) -> None:
+        pos, _, recycled = self._ring.slot_at(self._ring.clock())
+        if recycled:
+            self._values[pos] = 0.0
+        self._values[pos] += value
+
+    def total(self) -> float:
+        """Sum over the trailing window."""
+        now = self._ring.clock()
+        return sum(self._values[i] for i in self._ring.live_positions(now))
+
+    def rate(self) -> float:
+        """Events per second over the trailing window."""
+        return self.total() / self._ring.window
+
+
+class WindowedHistogram:
+    """Sampled histogram over a rolling time window.
+
+    Count and sum are exact; percentiles come from up to
+    ``max_samples_per_slot`` retained samples per slot, which is exact
+    until a slot overflows and a uniform-ish head sample afterwards —
+    plenty for a live p50/p99 readout.
+    """
+
+    __slots__ = ("_ring", "_counts", "_sums", "_samples", "_cap")
+
+    def __init__(self, window: float = 30.0, slots: int = 30,
+                 clock=_time.monotonic, max_samples_per_slot: int = 512):
+        self._ring = _Ring(window, slots, clock)
+        n = self._ring.slots
+        self._counts = [0] * n
+        self._sums = [0.0] * n
+        self._samples: list[list[float]] = [[] for _ in range(n)]
+        self._cap = int(max_samples_per_slot)
+
+    @property
+    def window(self) -> float:
+        return self._ring.window
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        pos, _, recycled = self._ring.slot_at(self._ring.clock())
+        if recycled:
+            self._counts[pos] = 0
+            self._sums[pos] = 0.0
+            self._samples[pos] = []
+        self._counts[pos] += 1
+        self._sums[pos] += value
+        if len(self._samples[pos]) < self._cap:
+            self._samples[pos].append(value)
+
+    def count(self) -> int:
+        now = self._ring.clock()
+        return sum(self._counts[i] for i in self._ring.live_positions(now))
+
+    def mean(self) -> float:
+        now = self._ring.clock()
+        live = self._ring.live_positions(now)
+        count = sum(self._counts[i] for i in live)
+        if not count:
+            return 0.0
+        return sum(self._sums[i] for i in live) / count
+
+    def percentile(self, q: float) -> float:
+        """q in [0, 1]; 0.0 when the window holds no samples."""
+        now = self._ring.clock()
+        merged: list[float] = []
+        for i in self._ring.live_positions(now):
+            merged.extend(self._samples[i])
+        if not merged:
+            return 0.0
+        merged.sort()
+        rank = min(len(merged) - 1, max(0, math.ceil(q * len(merged)) - 1))
+        return merged[rank]
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count(), "mean": self.mean(),
+            "p50": self.percentile(0.50), "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
 
 
 def render_metrics(snapshot: dict) -> str:

@@ -15,6 +15,7 @@ Three consumers of finished spans:
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import IO, Sequence
 
@@ -22,8 +23,23 @@ from repro.jsonl import iter_jsonl
 from repro.obs.trace import SpanRecord
 
 
+# File handles inherited across a fork are parked here by fork_rekey and
+# never closed in the child: closing would flush whatever buffered bytes
+# the parent had pending at fork time into the parent's file a second
+# time, or deadlock on an io lock held by a thread that did not survive
+# the fork.  The list keeps them alive so GC cannot close them either.
+_ABANDONED: list = []
+
+_PID_SUFFIX = re.compile(r"\.pid\d+$")
+
+
 class JsonlSink:
-    """Stream span records (JSON lines) to a file as they close."""
+    """Stream span records (JSON lines) to a file as they close.
+
+    The file is opened line-buffered so every emitted span hits the OS
+    immediately — a forked child (or a crash) never finds half-written
+    parent state in the stdio buffer.
+    """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
@@ -32,7 +48,7 @@ class JsonlSink:
     def emit(self, payload: dict) -> None:
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "w", encoding="utf-8")
+            self._handle = open(self.path, "w", encoding="utf-8", buffering=1)
         self._handle.write(json.dumps(payload) + "\n")
 
     def close(self, metrics_snapshot: dict | None = None) -> None:
@@ -42,6 +58,16 @@ class JsonlSink:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+
+    def fork_rekey(self, pid: int) -> "JsonlSink":
+        """Post-fork (child side): abandon the inherited handle and return
+        a fresh sink writing to a pid-suffixed sibling of the parent path
+        (``trace.jsonl`` → ``trace.pid1234.jsonl``)."""
+        if self._handle is not None:
+            _ABANDONED.append(self._handle)
+            self._handle = None
+        stem = _PID_SUFFIX.sub("", self.path.stem)
+        return JsonlSink(self.path.with_name(f"{stem}.pid{pid}{self.path.suffix}"))
 
 
 def read_jsonl(path: str | Path) -> tuple[list[SpanRecord], dict | None]:

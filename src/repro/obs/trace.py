@@ -11,10 +11,39 @@ is off (the default), :func:`span` returns a shared no-op context
 manager and does nothing else, so instrumented hot paths pay one
 attribute check per call site.  Enable with ``obs.enable()`` or
 ``REPRO_TRACE=1`` in the environment (see :mod:`repro.obs`).
+
+Cross-process tracing
+---------------------
+Spans carry the recording process's ``pid`` and, when one is active,
+the current ``trace_id`` — a request-scoped token installed with the
+:func:`trace` context manager and propagated by the serve daemon from
+client to shard worker.  Three mechanisms make the forked-worker
+reality safe:
+
+- open-span and trace-id stacks are **thread-local**, so the serve
+  daemon's event loop and its scoring executor threads cannot corrupt
+  each other's parent indices (``STATE.stack`` remains readable and
+  names the calling thread's stack);
+- an ``os.register_at_fork`` hook resets the child's buffer, stacks,
+  and index counter and re-keys every file sink to a pid-suffixed
+  path, so a forked ``ShardWorker`` never appends to its parent's
+  trace file through the inherited descriptor (the inherited handle is
+  abandoned, never closed — closing could flush duplicate buffered
+  bytes or deadlock on a lock held by a thread that did not survive
+  the fork).  The time ``origin`` is deliberately *kept*: on Linux
+  ``time.perf_counter`` is the system-wide monotonic clock, so parent
+  and child span starts stay directly comparable for the merger;
+- :func:`absorb` files span dicts shipped back from a worker into a
+  separate *foreign* buffer — they are never re-emitted to the local
+  sinks (the worker's own pid-file already has them) but are available
+  in-process via ``foreign_records()``.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -32,14 +61,19 @@ class SpanRecord:
     cpu: float          # process CPU time consumed in seconds
     status: str         # "ok" or "error" (the body raised)
     attrs: dict = field(default_factory=dict)
+    pid: int = 0        # recording process; (pid, index) is globally unique
+    trace_id: str = ""  # request trace token, "" outside any trace context
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "kind": "span", "index": self.index, "parent": self.parent,
             "depth": self.depth, "name": self.name, "start": self.start,
             "wall": self.wall, "cpu": self.cpu, "status": self.status,
-            "attrs": self.attrs,
+            "attrs": self.attrs, "pid": self.pid,
         }
+        if self.trace_id:
+            payload["trace"] = self.trace_id
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SpanRecord":
@@ -49,27 +83,76 @@ class SpanRecord:
             start=float(payload["start"]), wall=float(payload["wall"]),
             cpu=float(payload["cpu"]), status=str(payload["status"]),
             attrs=dict(payload.get("attrs", {})),
+            pid=int(payload.get("pid", 0)),
+            trace_id=str(payload.get("trace", "")),
         )
 
 
 class TraceState:
-    """Module-singleton holding the enabled flag, buffer, and open stack."""
-
-    __slots__ = ("enabled", "records", "stack", "next_index", "origin", "sinks")
+    """Module-singleton holding the enabled flag, buffer, and open stacks."""
 
     def __init__(self):
         self.enabled = False
         self.records: list[SpanRecord] = []
-        self.stack: list[int] = []          # indices of currently open spans
-        self.next_index = 0
-        self.origin = 0.0                   # perf_counter at enable()
+        self.foreign: list[SpanRecord] = []  # absorbed from worker replies
+        self.origin = 0.0                    # perf_counter at enable()
         self.sinks: list = []
+        self.pid = os.getpid()
+        self._counter = itertools.count()    # thread-safe index allocator
+        self._local = threading.local()
+
+    @property
+    def stack(self) -> list[int]:
+        """The *calling thread's* open-span index stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def trace_stack(self) -> list[str]:
+        """The calling thread's active trace-id stack."""
+        stack = getattr(self._local, "trace_stack", None)
+        if stack is None:
+            stack = self._local.trace_stack = []
+        return stack
+
+    def alloc_index(self) -> int:
+        return next(self._counter)
+
+    @property
+    def next_index(self) -> int:
+        """Peek at the next index without consuming it (tests only)."""
+        return self._counter.__reduce__()[1][0]
 
     def clear(self) -> None:
         self.records = []
-        self.stack = []
-        self.next_index = 0
+        self.foreign = []
         self.origin = time.perf_counter()
+        self._counter = itertools.count()
+        self._local = threading.local()  # drops every thread's stacks
+
+    def fork_reset(self) -> None:
+        """Child-side reset after ``os.fork`` (registered in repro.obs).
+
+        Keeps ``enabled`` and ``origin`` (perf_counter is CLOCK_MONOTONIC
+        on Linux, shared across the fork, so child starts stay comparable)
+        but drops all inherited records/stacks and re-keys file sinks to
+        per-pid paths so the child never writes into the parent's file.
+        """
+        self.pid = os.getpid()
+        self.records = []
+        self.foreign = []
+        self._counter = itertools.count()
+        self._local = threading.local()
+        reborn: list = []
+        for sink in self.sinks:
+            rekey = getattr(sink, "fork_rekey", None)
+            if rekey is not None:
+                fresh = rekey(self.pid)
+                if fresh is not None:
+                    reborn.append(fresh)
+        self.sinks = reborn
 
 
 STATE = TraceState()
@@ -96,7 +179,8 @@ NOOP_SPAN = _NoopSpan()
 class Span:
     """A live span; use via ``with span(name, **attrs) as sp``."""
 
-    __slots__ = ("name", "attrs", "_index", "_parent", "_depth", "_t0", "_cpu0")
+    __slots__ = ("name", "attrs", "_index", "_parent", "_depth", "_t0",
+                 "_cpu0", "_trace")
 
     def __init__(self, name: str, attrs: dict):
         self.name = name
@@ -108,11 +192,13 @@ class Span:
 
     def __enter__(self):
         st = STATE
-        self._index = st.next_index
-        st.next_index += 1
-        self._parent = st.stack[-1] if st.stack else -1
-        self._depth = len(st.stack)
-        st.stack.append(self._index)
+        stack = st.stack
+        self._index = st.alloc_index()
+        self._parent = stack[-1] if stack else -1
+        self._depth = len(stack)
+        trace_stack = st.trace_stack
+        self._trace = trace_stack[-1] if trace_stack else ""
+        stack.append(self._index)
         self._cpu0 = time.process_time()
         self._t0 = time.perf_counter()
         return self
@@ -121,14 +207,15 @@ class Span:
         wall = time.perf_counter() - self._t0
         cpu = time.process_time() - self._cpu0
         st = STATE
-        if st.stack and st.stack[-1] == self._index:
-            st.stack.pop()
+        stack = st.stack
+        if stack and stack[-1] == self._index:
+            stack.pop()
         if st.enabled:  # disabled mid-span: drop the record, keep the stack sane
             record = SpanRecord(
                 index=self._index, parent=self._parent, depth=self._depth,
                 name=self.name, start=self._t0 - st.origin, wall=wall,
                 cpu=cpu, status="error" if exc_type is not None else "ok",
-                attrs=self.attrs,
+                attrs=self.attrs, pid=st.pid, trace_id=self._trace,
             )
             st.records.append(record)
             for sink in st.sinks:
@@ -141,3 +228,94 @@ def span(name: str, **attrs):
     if not STATE.enabled:
         return NOOP_SPAN
     return Span(name, attrs)
+
+
+class _TraceContext:
+    """Installs a trace id for the calling thread while entered."""
+
+    __slots__ = ("trace_id",)
+
+    def __init__(self, trace_id: str):
+        self.trace_id = trace_id
+
+    def __enter__(self):
+        STATE.trace_stack.append(self.trace_id)
+        return self.trace_id
+
+    def __exit__(self, exc_type, exc, tb):
+        stack = STATE.trace_stack
+        if stack and stack[-1] == self.trace_id:
+            stack.pop()
+        return False
+
+
+def trace(trace_id: str):
+    """Context manager: tag every span opened inside with ``trace_id``.
+
+    Thread-local and reentrant (nested contexts shadow, inner wins).
+    Cheap no-op when telemetry is disabled.
+    """
+    if not STATE.enabled:
+        return NOOP_SPAN
+    return _TraceContext(str(trace_id))
+
+
+def current_trace() -> str:
+    """The calling thread's active trace id, or ``""``."""
+    stack = STATE.trace_stack
+    return stack[-1] if stack else ""
+
+
+def emit_span(name: str, wall: float, *, ended_ago: float = 0.0,
+              parent: int = -1, depth: int = 0, status: str = "ok",
+              trace_id: str | None = None, cpu: float = 0.0,
+              attrs: dict | None = None) -> int:
+    """Synthesize a finished span after the fact (returns its index, or -1).
+
+    The serve daemon measures request stages (queue wait, score wait,
+    response write) with its own clock and only knows the durations once
+    the response is written; this records them as proper spans.  ``wall``
+    is the duration and ``ended_ago`` how many seconds before *now* the
+    stage ended, from which the start offset is reconstructed on the
+    shared perf_counter timeline.  ``parent`` may be the index returned
+    by a previous ``emit_span`` call, so callers can build small trees.
+    """
+    st = STATE
+    if not st.enabled:
+        return -1
+    start = time.perf_counter() - st.origin - ended_ago - wall
+    record = SpanRecord(
+        index=st.alloc_index(), parent=parent, depth=depth, name=name,
+        start=start, wall=wall, cpu=cpu, status=status,
+        attrs=dict(attrs or {}), pid=st.pid,
+        trace_id=current_trace() if trace_id is None else str(trace_id),
+    )
+    st.records.append(record)
+    for sink in st.sinks:
+        sink.emit(record.as_dict())
+    return record.index
+
+
+def absorb(span_dicts) -> int:
+    """File span dicts shipped back from a worker into the foreign buffer.
+
+    Foreign spans are *not* re-emitted to local sinks — the worker's own
+    pid-suffixed trace file is their durable home and re-emitting would
+    duplicate them in a merged view.  Returns the number absorbed.
+    """
+    st = STATE
+    if not st.enabled or not span_dicts:
+        return 0
+    count = 0
+    for payload in span_dicts:
+        st.foreign.append(SpanRecord.from_dict(payload))
+        count += 1
+    return count
+
+
+def drain_records() -> list[dict]:
+    """Pop the local span buffer as dicts (the worker-reply shipment)."""
+    st = STATE
+    out = [record.as_dict() for record in st.records]
+    st.records = []
+    return out

@@ -368,6 +368,29 @@ class RunStore:
 
 _ACTIVE: RunWriter | None = None
 
+# Series-file handles inherited across a fork are parked here (child
+# side) and never closed: closing could re-flush parent-buffered bytes
+# into series.jsonl.  See _deactivate_in_child.
+_ABANDONED: list = []
+
+
+def _deactivate_in_child() -> None:
+    """Fork hook: a forked child (serve shard worker) must never append
+    to the parent's run — its events would interleave into the parent's
+    series.jsonl through the inherited descriptor.  The child abandons
+    the inherited handle (kept alive so GC cannot close/flush it) and
+    drops the active run; ``record_step``/``record_event`` become no-ops
+    in the child."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        if _ACTIVE._handle is not None:
+            _ABANDONED.append(_ACTIVE._handle)
+            _ACTIVE._handle = None
+        _ACTIVE = None
+
+
+os.register_at_fork(after_in_child=_deactivate_in_child)
+
 
 def active() -> RunWriter | None:
     """The run currently recording, or None (the common, free case)."""

@@ -18,10 +18,14 @@ small separately-testable parts:
 - :mod:`~repro.serve.client` — :class:`ServeClient`, a blocking
   pipelining client;
 - :mod:`~repro.serve.registry` — weights in/out of the run registry
-  (``{"op": "swap", "ref": "latest"}`` promotes a retrained model).
+  (``{"op": "swap", "ref": "latest"}`` promotes a retrained model);
+- :mod:`~repro.serve.slo` — declarative :class:`SloSpec` objectives
+  evaluated live inside the daemon and post-hoc by ``repro slo check``,
+  plus the ``repro top`` frame renderer.
 
-See ``docs/operations.md`` ("Running the matching service") for the
-runbook and ``benchmarks/bench_serve.py`` for the load generator.
+See ``docs/operations.md`` ("Running the matching service" and
+"Watching a live service") for the runbook and
+``benchmarks/bench_serve.py`` for the load generator.
 """
 
 from repro.serve.batcher import BatchQueue
@@ -46,6 +50,7 @@ from repro.serve.protocol import (
 )
 from repro.serve.registry import WEIGHTS_ARTIFACT, publish_model, resolve_weights
 from repro.serve.scorer import MatchScorer
+from repro.serve.slo import SloBreach, SloSpec, check_run, render_top
 from repro.serve.workers import (
     LocalWorker,
     ShardWorker,
@@ -58,7 +63,8 @@ __all__ = [
     "E_OVERLOADED", "E_SWAP_FAILED", "E_TOO_LARGE", "E_UNKNOWN_OP",
     "LocalWorker", "MatchScorer", "MatchServer", "ProtocolError", "Request",
     "ServeClient", "ServeConfig", "ServeError", "ServeLimits", "ServerHandle",
-    "ShardWorker", "WEIGHTS_ARTIFACT", "WorkerCrash", "decode_response",
-    "encode_response", "error_response", "match_response", "parse_request",
-    "publish_model", "resolve_weights", "shard_of",
+    "ShardWorker", "SloBreach", "SloSpec", "WEIGHTS_ARTIFACT", "WorkerCrash",
+    "check_run", "decode_response", "encode_response", "error_response",
+    "match_response", "parse_request", "publish_model", "render_top",
+    "resolve_weights", "shard_of",
 ]

@@ -11,7 +11,9 @@ out of order across shards.
 from __future__ import annotations
 
 import socket
+import time
 
+from repro import obs
 from repro.serve.protocol import decode_response, encode_response
 
 
@@ -62,32 +64,64 @@ class ServeClient:
         return self.read_response()
 
     # ------------------------------------------------------------------
-    def match(self, left: dict, right: dict) -> dict:
-        """Score one pair; raises :class:`ServeError` on a rejection."""
-        response = self.request({"op": "match", "left": left, "right": right})
+    def match(self, left: dict, right: dict, trace: str = "") -> dict:
+        """Score one pair; raises :class:`ServeError` on a rejection.
+
+        ``trace`` tags the request with a trace id: the daemon stamps it
+        on every span it (and its shard workers) record for this request
+        and echoes it in the response, and the client records its own
+        ``client.match`` span under the same id — so a merged trace
+        covers the full client-write → response-read journey.
+        """
+        payload = {"op": "match", "left": left, "right": right}
+        if trace:
+            payload["trace"] = trace
+        with obs.trace(trace) if trace else obs.NOOP_SPAN:
+            with obs.span("client.match"):
+                response = self.request(payload)
         if "error" in response:
             raise ServeError(response["error"]["code"],
                              response["error"]["message"])
         return response
 
-    def match_many(self, pairs, raise_on_error: bool = False) -> list[dict]:
+    def match_many(self, pairs, raise_on_error: bool = False,
+                   trace: str = "") -> list[dict]:
         """Pipeline many ``(left, right)`` pairs; responses in input order.
 
         Overload rejections (and other structured errors) come back as
         the raw error response unless ``raise_on_error`` is set.
+
+        ``trace`` is a prefix: request ``i`` is tagged ``{trace}-{i}``.
+        Because the writes are pipelined (all sent before any response is
+        read), the per-request ``client.match`` spans are synthesized
+        from each request's own send→response interval as replies arrive.
         """
-        ids = []
-        for left, right in pairs:
+        ids: list[int] = []
+        sent: dict[int, float] = {}
+        trace_of: dict[int, str] = {}
+        for position, (left, right) in enumerate(pairs):
             self._next_id += 1
             ids.append(self._next_id)
-            self._file.write(encode_response(
-                {"op": "match", "left": left, "right": right,
-                 "id": self._next_id}))
+            payload = {"op": "match", "left": left, "right": right,
+                       "id": self._next_id}
+            if trace:
+                tid = f"{trace}-{position}"
+                payload["trace"] = tid
+                trace_of[self._next_id] = tid
+                sent[self._next_id] = time.perf_counter()
+            self._file.write(encode_response(payload))
         self._file.flush()
         by_id: dict = {}
         for _ in ids:
             response = self.read_response()
-            by_id[response.get("id")] = response
+            request_id = response.get("id")
+            by_id[request_id] = response
+            if request_id in sent and obs.enabled():
+                obs.emit_span(
+                    "client.match",
+                    wall=time.perf_counter() - sent[request_id],
+                    trace_id=trace_of[request_id],
+                    attrs={"id": request_id})
         ordered = [by_id[i] for i in ids]
         if raise_on_error:
             for response in ordered:
@@ -101,6 +135,10 @@ class ServeClient:
 
     def stats(self) -> dict:
         return self.request({"op": "stats"})["stats"]
+
+    def metrics(self) -> dict:
+        """The daemon's windowed live-telemetry view (``repro top``)."""
+        return self.request({"op": "metrics"})["metrics"]
 
     def swap(self, ref: str = "latest") -> dict:
         response = self.request({"op": "swap", "ref": ref})

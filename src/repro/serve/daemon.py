@@ -42,6 +42,7 @@ from typing import Callable, Sequence
 from repro import obs
 from repro.ft.faults import FaultPlan, fault_point
 from repro.nn.serialization import CheckpointError
+from repro.runs import record_event
 from repro.serve import protocol
 from repro.serve.batcher import BatchQueue
 from repro.serve.protocol import (
@@ -59,6 +60,7 @@ from repro.serve.protocol import (
 )
 from repro.serve.registry import resolve_weights
 from repro.serve.scorer import MatchScorer
+from repro.serve.slo import SloBreach, SloSpec
 from repro.serve.workers import LocalWorker, ShardWorker, WorkerCrash, shard_of
 
 
@@ -75,6 +77,9 @@ class ServeConfig:
     max_batch_retries: int = 2         # re-runs after a worker crash
     limits: ServeLimits = field(default_factory=ServeLimits)
     runs_root: str | Path | None = None  # registry root for swap refs
+    window_s: float = 30.0             # live-telemetry window (metrics op)
+    slo: SloSpec | None = None         # evaluated every slo_interval
+    slo_interval: float = 1.0          # seconds between SLO evaluations
 
 
 @dataclass
@@ -85,6 +90,7 @@ class _Pending:
     arrival: float
     writer: asyncio.StreamWriter
     lock: asyncio.Lock
+    trace_id: str = ""
 
 
 class _WorkerState:
@@ -146,7 +152,20 @@ class MatchServer:
         self._latencies: deque[float] = deque(maxlen=4096)
         self._counts = {"received": 0, "completed": 0, "rejected": 0,
                         "errors": 0, "batches": 0, "batched_pairs": 0,
-                        "swaps": 0, "retries": 0}
+                        "swaps": 0, "retries": 0, "worker_restarts": 0,
+                        "slo_breaches": 0}
+        # Windowed live telemetry (the `metrics` op / `repro top` view):
+        # requests/rejections/latency over the trailing config.window_s.
+        window = self.config.window_s
+        self._win_requests = obs.WindowedCounter(window, clock=clock)
+        self._win_completed = obs.WindowedCounter(window, clock=clock)
+        self._win_rejected = obs.WindowedCounter(window, clock=clock)
+        self._win_restarts = obs.WindowedCounter(window, clock=clock)
+        self._win_latency = obs.WindowedHistogram(window, clock=clock)
+        self._slo_recent: deque[str] = deque(maxlen=32)
+        self._slo_task: asyncio.Task | None = None
+        self._trace_seq = 0   # server-assigned trace ids (traced, untagged)
+        self._batch_seq = 0   # dispatch link ids for cross-process grafting
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -167,10 +186,19 @@ class MatchServer:
         self._started = self.clock()
         for ws in self._workers:
             ws.task = asyncio.create_task(self._dispatch_loop(ws))
+        if self.config.slo is not None:
+            self._slo_task = asyncio.create_task(self._slo_loop())
         return self.address
 
     async def stop(self) -> None:
         """Stop accepting, cancel dispatch, close workers."""
+        if self._slo_task is not None:
+            self._slo_task.cancel()
+            try:
+                await self._slo_task
+            except asyncio.CancelledError:
+                pass
+            self._slo_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -261,7 +289,9 @@ class MatchServer:
         elif request.op == "health":
             await self._send(writer, lock, self._health(request))
         elif request.op == "stats":
-            await self._send(writer, lock, self._stats_response(request))
+            await self._send(writer, lock, await self._stats_response(request))
+        elif request.op == "metrics":
+            await self._send(writer, lock, self._metrics_response(request))
         elif request.op == "swap":
             await self._swap(request, writer, lock)
         elif request.op == "shutdown":
@@ -276,10 +306,18 @@ class MatchServer:
             ws = self._workers[0]
         else:
             ws = self._workers[shard_of(request.left, len(self._workers))]
+        trace_id = request.trace
+        if not trace_id and obs.enabled():
+            # Traced service, untagged client: assign a server-side id so
+            # the request is still reconstructable from the merged trace.
+            self._trace_seq += 1
+            trace_id = f"srv-{self._trace_seq}"
         pending = _Pending(request=request, arrival=self.clock(),
-                           writer=writer, lock=lock)
+                           writer=writer, lock=lock, trace_id=trace_id)
+        self._win_requests.inc()
         if not ws.queue.offer(pending, now=pending.arrival):
             self._counts["rejected"] += 1
+            self._win_rejected.inc()
             if obs.enabled():
                 obs.inc("serve.rejected")
             asyncio.ensure_future(self._send(writer, lock, error_response(
@@ -337,18 +375,49 @@ class MatchServer:
         pairs = [p.request.pair() for p in batch]
         dispatch_start = self.clock()
         fault_point("serve.batch", batch)
+        traced = obs.enabled()
+        trace_ids = [p.trace_id for p in batch if p.trace_id] if traced else []
         results = None
         for attempt in range(self.config.max_batch_retries + 1):
+            # Each dispatch attempt gets its own link id: the worker tags
+            # its serve.batch span with `link`, the parent records a
+            # serve.dispatch span with the matching `link_id`, and the
+            # trace merger grafts the worker subtree under it.  A crashed
+            # attempt leaves an error-status dispatch span with no child
+            # (the worker died before its span could close), so a merged
+            # trace shows the failed and the retried attempt side by side.
+            meta = None
+            if traced:
+                self._batch_seq += 1
+                meta = {"link": f"batch-{self._batch_seq}",
+                        "trace_ids": trace_ids}
+            attempt_start = self.clock()
             try:
                 results = await self._loop.run_in_executor(
-                    ws.executor, ws.worker.score_batch, pairs)
+                    ws.executor, ws.worker.score_batch, pairs, meta)
+                if traced:
+                    obs.emit_span(
+                        "serve.dispatch", wall=self.clock() - attempt_start,
+                        attrs={"link_id": meta["link"],
+                               "trace_ids": trace_ids, "attempt": attempt,
+                               "worker": ws.worker.index,
+                               "pairs": len(pairs)})
                 break
-            except WorkerCrash:
+            except WorkerCrash as crash:
                 self._counts["retries"] += 1
-                if obs.enabled():
+                if traced:
                     obs.inc("serve.worker_restarts")
+                    obs.emit_span(
+                        "serve.dispatch", wall=self.clock() - attempt_start,
+                        status="error",
+                        attrs={"link_id": meta["link"],
+                               "trace_ids": trace_ids, "attempt": attempt,
+                               "worker": ws.worker.index,
+                               "pairs": len(pairs), "crash": str(crash)})
                 if attempt >= self.config.max_batch_retries:
                     break
+                self._counts["worker_restarts"] += 1
+                self._win_restarts.inc()
                 await self._loop.run_in_executor(
                     ws.executor, ws.worker.restart)
             except Exception as exc:  # noqa: BLE001 - answered, not fatal
@@ -360,8 +429,9 @@ class MatchServer:
             return
         self._counts["batches"] += 1
         self._counts["batched_pairs"] += len(batch)
-        now = self.clock()
-        if obs.enabled():
+        scored_at = self.clock()
+        now = scored_at
+        if traced:
             obs.observe("serve.batch_size", len(batch),
                         bounds=obs.SIZE_BUCKETS)
             obs.observe("serve.batch_queue_wait_s",
@@ -372,6 +442,7 @@ class MatchServer:
         for pending, (prob, pred, quarantined) in zip(batch, results):
             latency = now - pending.arrival
             self._latencies.append(latency)
+            self._win_latency.observe(latency)
             if quarantined:
                 self._counts["errors"] += 1
                 response = error_response(
@@ -379,9 +450,11 @@ class MatchServer:
                     pending.request.id)
             else:
                 self._counts["completed"] += 1
+                self._win_completed.inc()
                 response = match_response(prob, bool(pred),
-                                          pending.request.id)
-            if obs.enabled():
+                                          pending.request.id,
+                                          trace=pending.trace_id)
+            if traced:
                 obs.observe("serve.latency_s", latency,
                             bounds=obs.TIME_BUCKETS)
                 obs.inc("serve.completed")
@@ -389,11 +462,46 @@ class MatchServer:
             entry = by_connection.get(key)
             if entry is None:
                 by_connection[key] = (pending.writer, pending.lock,
-                                      [encode_response(response)])
+                                      [encode_response(response)], [pending])
             else:
                 entry[2].append(encode_response(response))
-        for writer, lock, frames in by_connection.values():
+                entry[3].append(pending)
+        for writer, lock, frames, members in by_connection.values():
+            write_start = self.clock()
             await self._send_frames(writer, lock, frames)
+            if traced:
+                self._emit_request_spans(ws, members, dispatch_start,
+                                         scored_at, write_start)
+
+    def _emit_request_spans(self, ws: _WorkerState,
+                            members: Sequence[_Pending],
+                            dispatch_start: float, scored_at: float,
+                            write_start: float) -> None:
+        """Record each request's journey as a small span tree, post hoc.
+
+        The stage boundaries (arrival → dispatch → scored → written) are
+        only all known once the response bytes are out, so the spans are
+        synthesized backwards from *now* with ``obs.emit_span``:
+        ``serve.request`` wrapping ``serve.queue_wait`` /
+        ``serve.score_wait`` / ``serve.write`` children, every one tagged
+        with the request's trace id.
+        """
+        done = self.clock()
+        for pending in members:
+            tid = pending.trace_id
+            root = obs.emit_span(
+                "serve.request", wall=done - pending.arrival, trace_id=tid,
+                attrs={"id": pending.request.id, "worker": ws.worker.index})
+            obs.emit_span("serve.queue_wait",
+                          wall=dispatch_start - pending.arrival,
+                          ended_ago=done - dispatch_start,
+                          parent=root, depth=1, trace_id=tid)
+            obs.emit_span("serve.score_wait",
+                          wall=scored_at - dispatch_start,
+                          ended_ago=done - scored_at,
+                          parent=root, depth=1, trace_id=tid)
+            obs.emit_span("serve.write", wall=done - write_start,
+                          parent=root, depth=1, trace_id=tid)
 
     async def _fail_batch(self, batch: Sequence[_Pending],
                           message: str) -> None:
@@ -454,8 +562,38 @@ class MatchServer:
             response["id"] = request.id
         return response
 
-    def _stats_response(self, request: Request) -> dict:
-        response = {"stats": self.stats()}
+    async def _stats_response(self, request: Request) -> dict:
+        """The ``stats`` op: lifetime stats + per-worker model descriptions.
+
+        ``describe()`` crosses the worker pipe, and a shard mid-death
+        raises :class:`WorkerCrash` — the op must *degrade*, never fail:
+        a worker that cannot be described is reported as ``dead`` and
+        everything else is still answered.
+        """
+        payload = self.stats()
+        details = await asyncio.gather(
+            *(self._describe_worker(ws) for ws in self._workers))
+        for entry, detail in zip(payload["workers"], details):
+            entry.update(detail)
+        response = {"stats": payload}
+        if request.id is not None:
+            response["id"] = request.id
+        return response
+
+    async def _describe_worker(self, ws: _WorkerState) -> dict:
+        if not ws.worker.alive():
+            return {"status": "dead"}
+        try:
+            info = await self._loop.run_in_executor(
+                ws.executor, ws.worker.describe)
+        except WorkerCrash as exc:
+            return {"status": "dead", "error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - stats must never fail
+            return {"status": "dead", "error": repr(exc)}
+        return {"status": "up", **info}
+
+    def _metrics_response(self, request: Request) -> dict:
+        response = {"metrics": self.metrics()}
         if request.id is not None:
             response["id"] = request.id
         return response
@@ -481,14 +619,122 @@ class MatchServer:
             "latency_p50_ms": percentile(0.50) * 1e3,
             "latency_p99_ms": percentile(0.99) * 1e3,
             "weights_ref": self.weights_ref,
+            "window": self.window_metrics(),
+            "slo": self._slo_status(),
             "workers": [
                 {"index": ws.worker.index, "kind": ws.worker.kind,
+                 "status": "up" if ws.worker.alive() else "dead",
                  "queue_depth": ws.queue.depth,
                  "peak_depth": ws.queue.peak_depth,
                  "offered": ws.queue.offered,
                  "rejected": ws.queue.rejected}
                 for ws in self._workers
             ],
+        }
+
+    def window_metrics(self) -> dict:
+        """Live telemetry over the trailing ``config.window_s`` seconds."""
+        requests = self._win_requests.total()
+        rejected = self._win_rejected.total()
+        completed = self._win_completed.total()
+        elapsed = max(min(self.config.window_s,
+                          self.clock() - self._started), 1e-9)
+        return {
+            "window_s": self.config.window_s,
+            "requests": requests,
+            "completed": completed,
+            "rejected": rejected,
+            "rejection_rate": rejected / max(requests, 1),
+            "pairs_per_s": completed / elapsed,
+            "latency_p50_ms": self._win_latency.percentile(0.50) * 1e3,
+            "latency_p99_ms": self._win_latency.percentile(0.99) * 1e3,
+            "latency_mean_ms": self._win_latency.mean() * 1e3,
+            "queue_depth": sum(ws.queue.depth for ws in self._workers),
+            "worker_restarts": self._win_restarts.total(),
+        }
+
+    def metrics(self) -> dict:
+        """The ``metrics`` op payload: the windowed view + worker health.
+
+        Deliberately cheap — no worker pipe round-trips — so ``repro
+        top`` can poll it every second without queueing behind batches.
+        """
+        return {
+            "uptime_s": round(self.clock() - self._started, 3),
+            "weights_ref": self.weights_ref,
+            "window": self.window_metrics(),
+            "workers": [
+                {"index": ws.worker.index, "kind": ws.worker.kind,
+                 "status": "up" if ws.worker.alive() else "dead",
+                 "queue_depth": ws.queue.depth,
+                 "rejected": ws.queue.rejected}
+                for ws in self._workers
+            ],
+            "slo": self._slo_status(),
+        }
+
+    # ------------------------------------------------------------------
+    # SLO monitoring
+    # ------------------------------------------------------------------
+    def _slo_status(self) -> dict:
+        status: dict = {"breaches": self._counts["slo_breaches"],
+                        "recent": list(self._slo_recent)}
+        if self.config.slo is not None:
+            status["spec"] = self.config.slo.to_dict()
+        return status
+
+    def check_slo(self) -> list[SloBreach]:
+        """Evaluate the configured SLO spec against the current window.
+
+        Each breach is counted, kept in the recent ring for ``stats``/
+        ``metrics``, pushed to the run registry as an ``slo_breach``
+        event (when a serve run is recording), and mirrored as an obs
+        counter.  Called by the periodic monitor task; tests call it
+        directly.
+        """
+        spec = self.config.slo
+        if spec is None:
+            return []
+        breaches = spec.evaluate(self.window_metrics())
+        for breach in breaches:
+            self._counts["slo_breaches"] += 1
+            self._slo_recent.append(breach.message())
+            record_event("slo_breach", rule=breach.rule,
+                         value=breach.value, limit=breach.limit,
+                         t=round(self.clock() - self._started, 3))
+            if obs.enabled():
+                obs.inc(f"serve.slo_breach.{breach.rule}")
+        return breaches
+
+    async def _slo_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.slo_interval)
+            self.check_slo()
+
+    def final_metrics(self) -> dict:
+        """Lifetime summary in the shape ``repro slo check`` audits.
+
+        Written into the run manifest when ``repro serve --record`` seals
+        the serve run (key names match :meth:`SloSpec.evaluate` with
+        ``peak_depth=True``).
+        """
+        stats = self.stats()
+        answered = (stats["completed"] + stats["rejected"] + stats["errors"])
+        return {
+            "requests": answered,
+            "completed": stats["completed"],
+            "rejected": stats["rejected"],
+            "errors": stats["errors"],
+            "rejection_rate": stats["rejected"] / max(answered, 1),
+            "latency_p50_ms": stats["latency_p50_ms"],
+            "latency_p99_ms": stats["latency_p99_ms"],
+            "pairs_per_s": stats["pairs_per_s"],
+            "mean_batch_size": stats["mean_batch_size"],
+            "worker_restarts": self._counts["worker_restarts"],
+            "peak_queue_depth": max(
+                (ws.queue.peak_depth for ws in self._workers), default=0),
+            "slo_breaches": self._counts["slo_breaches"],
+            "swaps": stats["swaps"],
         }
 
 

@@ -3,10 +3,17 @@
 One request per line, one response per line.  Requests are JSON objects
 with an ``"op"`` field::
 
-    {"op": "match", "left": {...}, "right": {...}, "id": 7}
+    {"op": "match", "left": {...}, "right": {...}, "id": 7, "trace": "req-7"}
     {"op": "health"}
     {"op": "stats"}
+    {"op": "metrics"}
     {"op": "swap", "ref": "latest"}
+
+``match`` takes an optional ``trace`` string: a client-chosen trace id
+that is echoed in the response and stamped on every span the daemon and
+its shard workers record for that request (see ``repro trace --merge``).
+``metrics`` returns the windowed live-telemetry view (last-N-seconds
+p50/p99/throughput/rejection rate) that ``repro top`` polls.
 
 Responses echo the request's ``"id"`` (when given) and either carry the
 op's payload (``{"score": 0.93, "is_match": true}``) or a structured
@@ -36,7 +43,11 @@ E_OVERLOADED = "overloaded"      # admission queue full; retry later
 E_INTERNAL = "internal"          # scoring failed after retries
 E_SWAP_FAILED = "swap_failed"    # weights could not be resolved/loaded
 
-OPS = ("match", "health", "stats", "swap", "shutdown")
+OPS = ("match", "health", "stats", "metrics", "swap", "shutdown")
+
+#: Longest accepted client-supplied trace id (sanity bound, not a limit
+#: anyone should meet).
+MAX_TRACE_CHARS = 128
 
 
 @dataclass(frozen=True)
@@ -69,6 +80,7 @@ class Request:
     left: EntityRecord | None = None   # match
     right: EntityRecord | None = None  # match
     ref: str = "latest"                # swap
+    trace: str = ""                    # match: client-supplied trace id
     raw: dict = field(default_factory=dict, repr=False)
 
     def pair(self) -> EntityPair:
@@ -158,8 +170,15 @@ def parse_request(line: bytes | str,
                                     "match needs 'left' and 'right' records")
             left = _coerce_record(payload["left"], "left", limits)
             right = _coerce_record(payload["right"], "right", limits)
+            trace = payload.get("trace", "")
+            if not isinstance(trace, str):
+                raise ProtocolError(E_BAD_REQUEST, "'trace' must be a string")
+            if len(trace) > MAX_TRACE_CHARS:
+                raise ProtocolError(
+                    E_TOO_LARGE, f"'trace' is {len(trace)} chars "
+                    f"(limit {MAX_TRACE_CHARS})")
             return Request(op=op, id=request_id, left=left, right=right,
-                           raw=payload)
+                           trace=trace, raw=payload)
         if op == "swap":
             ref = payload.get("ref", "latest")
             if not isinstance(ref, str) or not ref:
@@ -183,10 +202,13 @@ def error_response(code: str, message: str, request_id=None) -> dict:
     return response
 
 
-def match_response(score: float, is_match: bool, request_id=None) -> dict:
+def match_response(score: float, is_match: bool, request_id=None,
+                   trace: str = "") -> dict:
     response: dict = {"score": float(score), "is_match": bool(is_match)}
     if request_id is not None:
         response["id"] = request_id
+    if trace:
+        response["trace"] = trace
     return response
 
 

@@ -65,8 +65,10 @@ class LocalWorker:
         self.scorer = scorer
         self.index = index
 
-    def score_batch(self, pairs: Sequence[EntityPair]) -> list[tuple[float, int, bool]]:
-        with obs.span("serve.batch", worker=self.index, pairs=len(pairs)):
+    def score_batch(self, pairs: Sequence[EntityPair],
+                    meta: dict | None = None) -> list[tuple[float, int, bool]]:
+        with obs.span("serve.batch", worker=self.index,
+                      **_batch_attrs(pairs, meta)):
             fault_point("serve.worker_batch", pairs)
             return self.scorer.score(pairs)
 
@@ -77,6 +79,9 @@ class LocalWorker:
         return {"kind": self.kind, "index": self.index,
                 **self.scorer.describe()}
 
+    def alive(self) -> bool:
+        return True
+
     def restart(self) -> None:  # pragma: no cover - local workers cannot die
         pass
 
@@ -84,8 +89,34 @@ class LocalWorker:
         pass
 
 
+def _batch_attrs(pairs: Sequence[EntityPair], meta: dict | None) -> dict:
+    """Span attrs for a scoring batch: size plus the cross-process link.
+
+    ``meta`` is the dispatch context the daemon attaches when tracing:
+    ``link`` names this dispatch (the parent's ``serve.dispatch`` span
+    carries the matching ``link_id``, which is how the trace merger
+    grafts the worker subtree into the request tree) and ``trace_ids``
+    lists every request riding in the batch.
+    """
+    attrs = {"pairs": len(pairs)}
+    if meta:
+        attrs["link"] = meta.get("link", "")
+        attrs["trace_ids"] = list(meta.get("trace_ids", ()))
+    return attrs
+
+
 def _shard_main(conn, scorer: MatchScorer, fault_plan: FaultPlan | None) -> None:
-    """Child-process loop: score/swap/ping until the pipe closes."""
+    """Child-process loop: score/swap/ping until the pipe closes.
+
+    Runs on the far side of a fork, so by the time the loop starts the
+    ``os.register_at_fork`` hook in :mod:`repro.obs` has already reset
+    the inherited trace state (fresh buffer and index counter, empty
+    open-span stack, sink re-keyed to a pid-suffixed file) — spans
+    recorded here are roots in *this* process's trace, never children
+    of whatever span the parent had open at fork time.  Each score
+    reply ships the spans it produced back to the parent, which absorbs
+    them for in-process inspection; the pid file stays the durable copy.
+    """
     guard = inject(fault_plan) if fault_plan is not None else nullcontext()
     with guard:
         while True:
@@ -98,9 +129,12 @@ def _shard_main(conn, scorer: MatchScorer, fault_plan: FaultPlan | None) -> None
                 break
             try:
                 if op == "score":
-                    with obs.span("serve.batch", pairs=len(payload)):
-                        fault_point("serve.worker_batch", payload)
-                        conn.send(("ok", scorer.score(payload)))
+                    pairs, meta = payload
+                    with obs.span("serve.batch", **_batch_attrs(pairs, meta)):
+                        fault_point("serve.worker_batch", pairs)
+                        result = scorer.score(pairs)
+                    shipment = obs.drain_records() if obs.enabled() else []
+                    conn.send(("ok", result, shipment))
                 elif op == "swap":
                     state, ref = payload
                     scorer.swap(state, ref)
@@ -161,7 +195,7 @@ class ShardWorker:
         while True:
             try:
                 if self._conn.poll(self.poll_step):
-                    status, value = self._conn.recv()
+                    reply = self._conn.recv()
                     break
             except (EOFError, OSError) as exc:
                 raise WorkerCrash(
@@ -170,12 +204,16 @@ class ShardWorker:
                 raise WorkerCrash(
                     f"shard {self.index} exited with code "
                     f"{self._proc.exitcode}")
+        status, value = reply[0], reply[1]
         if status == "err":
             raise RuntimeError(f"shard {self.index}: {value}")
+        if len(reply) > 2 and reply[2]:  # spans shipped back from the child
+            obs.absorb(reply[2])
         return value
 
-    def score_batch(self, pairs: Sequence[EntityPair]) -> list[tuple[float, int, bool]]:
-        return self._request("score", list(pairs))
+    def score_batch(self, pairs: Sequence[EntityPair],
+                    meta: dict | None = None) -> list[tuple[float, int, bool]]:
+        return self._request("score", (list(pairs), meta))
 
     def swap(self, state, ref: str = "") -> None:
         self._request("swap", (dict(state), ref))
@@ -184,6 +222,9 @@ class ShardWorker:
         info = self._request("ping")
         return {"kind": self.kind, "index": self.index,
                 "restarts": self.restarts, **info}
+
+    def alive(self) -> bool:
+        return self._proc.is_alive()
 
     def restart(self) -> None:
         """Replace a dead (or wedged) worker process with a fresh one."""

@@ -314,3 +314,370 @@ class TestIntegration:
         assert "pipeline.match/pipeline.block" in snap["spans"]
         assert snap["counters"]["blocking.candidates"] >= 0
         assert "blocking.candidates.TokenBlocker" in snap["counters"]
+
+
+class TestTraceContext:
+    def test_trace_tags_spans_inside_context(self):
+        obs.enable()
+        with obs.trace("req-1"):
+            assert obs.current_trace() == "req-1"
+            with obs.span("tagged"):
+                pass
+        with obs.span("untagged"):
+            pass
+        recs = {r.name: r for r in obs.records()}
+        assert recs["tagged"].trace_id == "req-1"
+        assert recs["untagged"].trace_id == ""
+        assert obs.current_trace() == ""
+
+    def test_nested_trace_inner_wins(self):
+        obs.enable()
+        with obs.trace("outer"):
+            with obs.trace("inner"):
+                with obs.span("a"):
+                    pass
+            with obs.span("b"):
+                pass
+        recs = {r.name: r for r in obs.records()}
+        assert recs["a"].trace_id == "inner"
+        assert recs["b"].trace_id == "outer"
+
+    def test_trace_is_noop_when_disabled(self):
+        assert obs.trace("ghost") is obs.NOOP_SPAN
+        with obs.trace("ghost"):
+            assert obs.current_trace() == ""
+
+    def test_records_carry_pid(self):
+        import os
+
+        obs.enable()
+        with obs.span("here"):
+            pass
+        (rec,) = obs.records()
+        assert rec.pid == os.getpid()
+
+    def test_span_dict_round_trips_trace_and_pid(self):
+        obs.enable()
+        with obs.trace("t-9"):
+            with obs.span("s"):
+                pass
+        (rec,) = obs.records()
+        clone = obs.SpanRecord.from_dict(rec.as_dict())
+        assert clone == rec
+        # Back-compat: old records without pid/trace still parse.
+        legacy = {k: v for k, v in rec.as_dict().items()
+                  if k not in ("pid", "trace")}
+        old = obs.SpanRecord.from_dict(legacy)
+        assert old.pid == 0 and old.trace_id == ""
+
+    def test_emit_span_builds_retroactive_tree(self):
+        obs.enable()
+        root = obs.emit_span("late.root", wall=0.5, trace_id="r",
+                             attrs={"id": 7})
+        child = obs.emit_span("late.child", wall=0.2, ended_ago=0.1,
+                              parent=root, depth=1, trace_id="r")
+        recs = {r.name: r for r in obs.records()}
+        assert recs["late.child"].parent == root
+        assert recs["late.child"].index == child
+        assert recs["late.child"].depth == 1
+        assert recs["late.root"].trace_id == "r"
+        assert recs["late.root"].attrs == {"id": 7}
+        # start is reconstructed: the child began after the root.
+        assert recs["late.child"].start >= recs["late.root"].start
+
+    def test_emit_span_disabled_returns_sentinel(self):
+        assert obs.emit_span("ghost", wall=1.0) == -1
+        assert obs.records() == []
+
+    def test_absorb_and_drain(self):
+        obs.enable()
+        with obs.span("local"):
+            pass
+        shipped = obs.drain_records()
+        assert [d["name"] for d in shipped] == ["local"]
+        assert obs.records() == []  # drained
+        foreign = dict(shipped[0])
+        foreign["pid"] = 99999
+        assert obs.absorb([foreign]) == 1
+        assert [r.pid for r in obs.foreign_records()] == [99999]
+        # Foreign spans never re-enter the local buffer.
+        assert obs.records() == []
+
+    def test_absorb_disabled_is_noop(self):
+        assert obs.absorb([{"kind": "span"}]) == 0
+        assert obs.foreign_records() == []
+
+    def test_thread_local_stacks_do_not_cross_parent(self):
+        import threading
+
+        obs.enable()
+        ready = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with obs.trace("thread-trace"):
+                with obs.span("thread.span"):
+                    ready.set()
+                    release.wait(timeout=5)
+
+        thread = threading.Thread(target=worker)
+        with obs.span("main.open"):
+            thread.start()
+            ready.wait(timeout=5)
+            # The worker's open span must not become our parent...
+            with obs.span("main.child"):
+                pass
+            # ...nor its trace id leak into this thread.
+            assert obs.current_trace() == ""
+            release.set()
+            thread.join()
+        recs = {r.name: r for r in obs.records()}
+        assert recs["main.child"].parent == recs["main.open"].index
+        assert recs["thread.span"].parent == -1
+        assert recs["thread.span"].trace_id == "thread-trace"
+        assert recs["main.child"].trace_id == ""
+
+
+class TestWindowedInstruments:
+    def test_counter_expires_outside_window(self):
+        from tests.helpers import FakeClock
+
+        clock = FakeClock(start=1000.0)
+        counter = obs.WindowedCounter(window=10.0, slots=10, clock=clock)
+        counter.inc(3)
+        clock.advance(5.0)
+        counter.inc(2)
+        assert counter.total() == 5
+        clock.advance(6.0)   # first inc now older than the window
+        assert counter.total() == 2
+        clock.advance(10.0)  # everything expired
+        assert counter.total() == 0
+
+    def test_counter_rate_is_per_second_over_window(self):
+        from tests.helpers import FakeClock
+
+        clock = FakeClock(start=1000.0)
+        counter = obs.WindowedCounter(window=10.0, slots=10, clock=clock)
+        for _ in range(20):
+            counter.inc()
+            clock.advance(0.25)
+        assert counter.total() == 20
+        assert counter.rate() == pytest.approx(2.0)
+
+    def test_counter_slot_recycled_after_full_wrap(self):
+        from tests.helpers import FakeClock
+
+        clock = FakeClock(start=1000.0)
+        counter = obs.WindowedCounter(window=10.0, slots=10, clock=clock)
+        counter.inc(100)
+        clock.advance(10.0)  # exactly one full window: same position, new epoch
+        counter.inc(1)
+        assert counter.total() == 1
+
+    def test_histogram_percentiles_and_expiry(self):
+        from tests.helpers import FakeClock
+
+        clock = FakeClock(start=1000.0)
+        hist = obs.WindowedHistogram(window=10.0, slots=10, clock=clock)
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.count() == 100
+        assert hist.mean() == pytest.approx(50.5)
+        assert hist.percentile(0.50) == 50.0
+        assert hist.percentile(0.99) == 99.0
+        assert hist.percentile(0.0) == 1.0
+        assert hist.percentile(1.0) == 100.0
+        clock.advance(11.0)
+        assert hist.count() == 0
+        assert hist.percentile(0.99) == 0.0
+        snap = hist.snapshot()
+        assert snap == {"count": 0, "mean": 0.0, "p50": 0.0,
+                        "p90": 0.0, "p99": 0.0}
+
+    def test_histogram_sample_cap_keeps_exact_count(self):
+        from tests.helpers import FakeClock
+
+        clock = FakeClock(start=1000.0)
+        hist = obs.WindowedHistogram(window=10.0, slots=10, clock=clock,
+                                     max_samples_per_slot=4)
+        for value in range(100):
+            hist.observe(float(value))
+        assert hist.count() == 100          # exact even past the cap
+        assert hist.mean() == pytest.approx(49.5)
+        assert hist.percentile(0.99) <= 3.0  # sampled head
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            obs.WindowedCounter(window=0.0)
+        with pytest.raises(ValueError):
+            obs.WindowedHistogram(window=5.0, slots=0)
+
+
+def _span_line(index, name, *, pid, parent=-1, depth=0, start=0.0, wall=0.01,
+               status="ok", trace="", attrs=None):
+    payload = {"kind": "span", "index": index, "parent": parent,
+               "depth": depth, "name": name, "start": start, "wall": wall,
+               "cpu": 0.0, "status": status, "attrs": attrs or {}, "pid": pid}
+    if trace:
+        payload["trace"] = trace
+    return json.dumps(payload)
+
+
+class TestMergeTraces:
+    def _write(self, path, lines):
+        path.write_text("".join(line + "\n" for line in lines))
+
+    def _two_process_trace(self, tmp_path):
+        """A daemon file + one worker file linked through batch-0."""
+        parent = tmp_path / "trace.jsonl"
+        worker = tmp_path / "trace.pid200.jsonl"
+        self._write(parent, [
+            _span_line(0, "serve.dispatch", pid=100, start=0.010, wall=0.030,
+                       attrs={"link_id": "batch-0", "trace_ids": ["r-0", "r-1"]}),
+            _span_line(1, "serve.request", pid=100, start=0.005, wall=0.040,
+                       trace="r-0"),
+            _span_line(2, "serve.queue_wait", pid=100, parent=1, depth=1,
+                       start=0.005, wall=0.005, trace="r-0"),
+            json.dumps({"kind": "metrics", "counters": {"serve.requests": 2}}),
+        ])
+        self._write(worker, [
+            _span_line(0, "serve.batch", pid=200, start=0.012, wall=0.020,
+                       attrs={"link": "batch-0", "trace_ids": ["r-0", "r-1"]}),
+            _span_line(1, "engine.forward", pid=200, parent=0, depth=1,
+                       start=0.014, wall=0.010),
+        ])
+        return parent
+
+    def test_merge_grafts_worker_under_dispatch(self, tmp_path):
+        merged = obs.merge_traces(self._two_process_trace(tmp_path))
+        assert merged.pids() == [100, 200]
+        assert len(merged.files) == 2
+        # serve.batch (pid 200) hangs off serve.dispatch (pid 100).
+        assert (200, 0) in merged.children[(100, 0)]
+        assert (200, 1) in merged.children[(200, 0)]
+        # Roots are causally ordered by start offset.
+        assert merged.roots == [(100, 1), (100, 0)]
+        assert merged.metrics[100]["counters"]["serve.requests"] == 2
+
+    def test_merge_from_file_finds_pid_siblings(self, tmp_path):
+        parent = self._two_process_trace(tmp_path)
+        by_file = obs.merge_traces(parent)
+        by_dir = obs.merge_traces(tmp_path)
+        assert {(r.pid, r.index) for r in by_file.records} == \
+               {(r.pid, r.index) for r in by_dir.records}
+
+    def test_merge_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            obs.merge_traces(tmp_path / "absent.jsonl")
+
+    def test_merge_deduplicates_by_pid_and_index(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        line = _span_line(0, "dup", pid=7)
+        self._write(path, [line, line])
+        assert len(obs.merge_traces(path).records) == 1
+
+    def test_merge_tolerates_torn_tail(self, tmp_path):
+        """A worker killed mid-write leaves a torn last line."""
+        path = tmp_path / "trace.jsonl"
+        path.write_text(_span_line(0, "whole", pid=5) + "\n"
+                        + '{"kind": "span", "index": 1, "par')
+        merged = obs.merge_traces(path)
+        assert [r.name for r in merged.records] == ["whole"]
+
+    def test_select_includes_untagged_descendants(self, tmp_path):
+        merged = obs.merge_traces(self._two_process_trace(tmp_path))
+        keys = merged.select("r-0")
+        # The worker's engine.forward is untagged but lives under a
+        # batch whose trace_ids include r-0 — it belongs to the journey.
+        assert (200, 1) in keys
+        assert (100, 1) in keys and (100, 2) in keys
+        assert merged.select("r-1") >= {(100, 0), (200, 0), (200, 1)}
+        assert merged.select("nope") == set()
+
+    def test_trace_ids_ordered_by_first_start(self, tmp_path):
+        merged = obs.merge_traces(self._two_process_trace(tmp_path))
+        assert merged.trace_ids() == ["r-0", "r-1"]
+
+    def test_render_merged_collapsed_and_filtered(self, tmp_path):
+        merged = obs.merge_traces(self._two_process_trace(tmp_path))
+        forest = obs.render_merged(merged)
+        assert "serve.dispatch" in forest and "serve.batch" in forest
+        assert "pids=[100, 200]" in forest
+        assert "--trace-id" in forest  # hint line
+        journey = obs.render_merged(merged, trace_id="r-0")
+        assert "trace r-0:" in journey
+        assert "engine.forward" in journey
+        assert "per-stage latency:" in journey
+        missing = obs.render_merged(merged, trace_id="nope")
+        assert "not found" in missing and "r-0" in missing
+
+    def test_stage_breakdown_sums_walls(self, tmp_path):
+        merged = obs.merge_traces(self._two_process_trace(tmp_path))
+        stages = obs.stage_breakdown(merged)
+        assert stages["serve.dispatch"]["count"] == 1
+        assert stages["serve.dispatch"]["wall"] == pytest.approx(0.030)
+        assert stages["engine.forward"]["mean"] == pytest.approx(0.010)
+        only = obs.stage_breakdown(merged, keys=[(200, 1)])
+        assert set(only) == {"engine.forward"}
+
+
+def _forked_child_records_spans(result_queue):
+    """Runs in a forked child: the at-fork hook must already have reset us."""
+    try:
+        with obs.trace("child-req"):
+            with obs.span("child.root"):
+                with obs.span("child.leaf"):
+                    pass
+        payload = {
+            "pid_seen": [r.pid for r in obs.records()],
+            "parents": {r.name: r.parent for r in obs.records()},
+            "stack": list(obs.STATE.stack),
+            "sink_paths": [str(s.path) for s in obs.STATE.sinks],
+        }
+        obs.disable()  # flush + close the child's pid-suffixed sink
+        result_queue.put(payload)
+    except BaseException as exc:  # pragma: no cover - surfaced in the test
+        result_queue.put({"error": repr(exc)})
+
+
+class TestForkIsolation:
+    def test_forked_child_gets_own_trace_file(self, tmp_path):
+        """Satellite regression: a forked worker must not interleave with
+        (or truncate) the parent's trace file — each process owns one
+        strictly parseable JSONL file."""
+        import multiprocessing
+        import os
+
+        path = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=str(path))
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        with obs.span("parent.open"):  # fork happens inside an open span
+            proc = ctx.Process(target=_forked_child_records_spans,
+                               args=(queue,))
+            proc.start()
+            child = queue.get(timeout=30)
+            proc.join(timeout=30)
+        obs.disable()
+
+        assert "error" not in child, child
+        # Child spans: re-keyed pid, fresh indices, roots not parented
+        # under the parent's open span.
+        assert child["pid_seen"] == [proc.pid] * 2
+        assert child["parents"] == {"child.leaf": 0, "child.root": -1}
+        assert child["stack"] == []  # inherited open-span stack dropped
+        assert child["sink_paths"] == [str(tmp_path / f"trace.pid{proc.pid}.jsonl")]
+
+        # Parent file: strictly parseable, single-pid, untouched by the child.
+        records, _ = obs.read_jsonl(path)
+        assert [r.name for r in records] == ["parent.open"]
+        assert {r.pid for r in records} == {os.getpid()}
+
+        # Child file: strictly parseable on its own, and mergeable.
+        child_path = tmp_path / f"trace.pid{proc.pid}.jsonl"
+        child_records, _ = obs.read_jsonl(child_path)
+        assert [r.name for r in child_records] == ["child.leaf", "child.root"]
+        assert {r.pid for r in child_records} == {proc.pid}
+        merged = obs.merge_traces(path)
+        assert sorted(merged.pids()) == sorted({os.getpid(), proc.pid})
+        assert [r.trace_id for r in child_records] == ["child-req"] * 2

@@ -862,3 +862,453 @@ class TestCrashContainment:
         others = [r for i, r in enumerate(responses) if i != 2
                   and requests[i] != requests[2]]
         assert all("score" in r for r in others)
+
+
+# ----------------------------------------------------------------------
+# End-to-end tracing, live telemetry, and SLOs
+# ----------------------------------------------------------------------
+
+import os
+import signal
+import time as _time_mod
+
+from repro import obs
+from repro.runs import RunStore, recording
+from repro.serve import SloBreach, SloSpec, check_run, render_top
+from repro.serve.protocol import MAX_TRACE_CHARS, match_response
+
+
+@pytest.fixture()
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestTraceProtocol:
+    def test_match_accepts_trace_string(self):
+        request = parse_request(json.dumps(
+            {"op": "match", "left": {"t": "a"}, "right": {"t": "b"},
+             "trace": "req-7"}))
+        assert request.trace == "req-7"
+
+    def test_trace_defaults_empty(self):
+        request = parse_request(json.dumps(
+            {"op": "match", "left": {"t": "a"}, "right": {"t": "b"}}))
+        assert request.trace == ""
+
+    def test_non_string_trace_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(json.dumps(
+                {"op": "match", "left": {"t": "a"}, "right": {"t": "b"},
+                 "trace": 7}))
+        assert err.value.code == E_BAD_REQUEST
+
+    def test_oversized_trace_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(json.dumps(
+                {"op": "match", "left": {"t": "a"}, "right": {"t": "b"},
+                 "trace": "x" * (MAX_TRACE_CHARS + 1)}))
+        assert err.value.code == E_TOO_LARGE
+
+    def test_metrics_op_parses(self):
+        assert parse_request(json.dumps({"op": "metrics"})).op == "metrics"
+
+    def test_match_response_echoes_trace_only_when_set(self):
+        assert match_response(0.5, True, 3, trace="t-1")["trace"] == "t-1"
+        assert "trace" not in match_response(0.5, True, 3)
+
+
+class TestEndToEndTracing:
+    def test_sharded_journey_reassembles_across_processes(
+            self, dual_model, encoder, tmp_path, clean_obs, capsys):
+        """The acceptance path: a traced 2-shard serve run leaves one
+        parseable trace file per process, and the merger rebuilds every
+        request's queue → batch → shard → forward journey under a single
+        trace id."""
+        path = tmp_path / "trace.jsonl"
+        # Enable BEFORE building the server: forked shards inherit the
+        # enabled flag + sink and re-key to pid-suffixed files.
+        obs.enable(trace_path=str(path))
+        requests = _random_requests(np.random.default_rng(31), 10)
+        config = ServeConfig(port=0, max_batch=4, max_delay=0.002, shards=2)
+        server = MatchServer(_scorer_factory(dual_model, encoder), config)
+        worker_pids = [ws.worker._proc.pid for ws in server._workers]
+        with ServerHandle(server) as (host, port):
+            with ServeClient(host, port) as client:
+                responses = client.match_many(requests, trace="req")
+        obs.disable()
+
+        # Every response echoes its request's trace id.
+        assert [r.get("trace") for r in responses] == \
+               [f"req-{i}" for i in range(len(requests))]
+
+        # The parent file is strictly parseable and single-pid: the
+        # forked workers never wrote through the inherited descriptor.
+        parent_records, _ = obs.read_jsonl(path)
+        assert {r.pid for r in parent_records} == {os.getpid()}
+        files = sorted(tmp_path.glob("trace.pid*.jsonl"))
+        assert [int(f.stem.split("pid")[1]) for f in files] == \
+               sorted(worker_pids)
+
+        merged = obs.merge_traces(path)
+        assert set(merged.pids()) == {os.getpid(), *worker_pids}
+        for i in range(len(requests)):
+            tid = f"req-{i}"
+            keys = merged.select(tid)
+            assert keys, f"{tid} missing from merged trace"
+            names = {merged.by_key[k].name for k in keys}
+            # Full journey: client send/recv, daemon stages, worker batch.
+            assert {"client.match", "serve.request", "serve.queue_wait",
+                    "serve.score_wait", "serve.write",
+                    "serve.batch"} <= names
+            # Nesting: stage spans hang off this request's serve.request
+            # root, and the worker subtree off a serve.dispatch span.
+            roots = {k for k in keys
+                     if merged.by_key[k].name == "serve.request"}
+            (root,) = roots
+            stages = {merged.by_key[k].name
+                      for k in merged.children.get(root, ())}
+            assert {"serve.queue_wait", "serve.score_wait",
+                    "serve.write"} <= stages
+            for key in keys:
+                record = merged.by_key[key]
+                if record.name == "serve.batch":
+                    assert record.pid in worker_pids
+                    graft_parent = next(
+                        parent for parent, kids in merged.children.items()
+                        if key in kids)
+                    assert merged.by_key[graft_parent].name == "serve.dispatch"
+
+        # The CLI --merge path renders the same reassembly.
+        from repro.cli import main
+        assert main(["trace", str(path), "--merge"]) == 0
+        out = capsys.readouterr().out
+        assert "serve.batch" in out and "pids=" in out
+        assert main(["trace", str(path), "--merge",
+                     "--trace-id", "req-3"]) == 0
+        out = capsys.readouterr().out
+        assert "trace req-3:" in out and "per-stage latency:" in out
+
+    def test_trace_survives_worker_crash_and_respawn(
+            self, dual_model, encoder, tmp_path, clean_obs):
+        """Satellite: a batch whose worker is killed mid-flight keeps its
+        trace id through the respawn — the merged tree shows the failed
+        attempt (error dispatch span) and the retried one side by side."""
+        path = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=str(path))
+        plan = FaultPlan().kill_at("serve.worker_batch", 0)
+        requests = _random_requests(np.random.default_rng(32), 4)
+        config = ServeConfig(port=0, max_batch=4, max_delay=0.002, shards=1)
+        server = MatchServer(_scorer_factory(dual_model, encoder), config,
+                             worker_fault_plan=plan)
+        with ServerHandle(server) as (host, port):
+            with ServeClient(host, port) as client:
+                responses = client.match_many(requests, trace="crashy")
+        obs.disable()
+
+        assert all("score" in r for r in responses)
+        merged = obs.merge_traces(path)
+        dispatches = sorted(
+            (r for r in merged.records if r.name == "serve.dispatch"),
+            key=lambda r: r.attrs["attempt"])
+        assert len(dispatches) >= 2
+        failed, retried = dispatches[0], dispatches[-1]
+        assert failed.status == "error" and "crash" in failed.attrs
+        assert retried.status == "ok"
+        # Same requests on both attempts: the trace ids carried over.
+        assert failed.attrs["trace_ids"] == retried.attrs["trace_ids"]
+        assert "crashy-0" in failed.attrs["trace_ids"]
+        # Each request's journey still selects, including the error leg.
+        keys = merged.select("crashy-0")
+        names = {merged.by_key[k].name for k in keys}
+        assert {"serve.request", "serve.dispatch", "client.match"} <= names
+        statuses = {merged.by_key[k].status for k in keys
+                    if merged.by_key[k].name == "serve.dispatch"}
+        assert statuses == {"error", "ok"}
+
+    def test_untraced_serving_has_no_trace_artifacts(self, served):
+        _, host, port = served
+        with ServeClient(host, port) as client:
+            response = client.match({"t": "usb stick"}, {"t": "usb drive"})
+        assert "trace" not in response
+
+
+class TestLiveTelemetry:
+    def test_metrics_op_reports_windowed_view(self, served):
+        _, host, port = served
+        with ServeClient(host, port) as client:
+            client.match_many(_random_requests(np.random.default_rng(33), 6))
+            payload = client.metrics()
+        window = payload["window"]
+        assert window["requests"] >= 6
+        assert window["completed"] >= 6
+        assert window["rejected"] == 0
+        assert window["rejection_rate"] == 0.0
+        assert window["latency_p99_ms"] >= window["latency_p50_ms"] > 0.0
+        assert window["window_s"] == pytest.approx(30.0)
+        assert payload["uptime_s"] >= 0.0
+        assert all(w["status"] == "up" for w in payload["workers"])
+        assert payload["slo"]["breaches"] == 0
+
+    def test_stats_carries_window_and_worker_status(self, served):
+        _, host, port = served
+        with ServeClient(host, port) as client:
+            client.match({"t": "usb"}, {"t": "usb stick"})
+            stats = client.stats()
+        assert stats["window"]["completed"] >= 1
+        assert stats["slo"]["breaches"] == 0
+        assert all(w["status"] == "up" for w in stats["workers"])
+
+    def test_windowed_counters_expire(self):
+        clock = FakeClock(start=1000.0)
+        config = ServeConfig(port=0, window_s=10.0)
+        server = MatchServer(
+            lambda: MatchScorer(lambda m: m, _LenModel()), config,
+            clock=clock)
+        server._win_requests.inc()
+        server._win_completed.inc()
+        server._win_latency.observe(0.050)
+        window = server.window_metrics()
+        assert window["requests"] == 1 and window["completed"] == 1
+        assert window["latency_p99_ms"] == pytest.approx(50.0)
+        clock.advance(11.0)
+        window = server.window_metrics()
+        assert window["requests"] == 0
+        assert window["latency_p99_ms"] == 0.0
+
+    def test_stats_degrades_to_dead_for_killed_shard(self, dual_model,
+                                                     encoder):
+        """Satellite: the stats op must answer — never raise — while a
+        shard is mid-death; the dead worker reports status="dead"."""
+        config = ServeConfig(port=0, max_batch=4, max_delay=0.002, shards=2)
+        server = MatchServer(_scorer_factory(dual_model, encoder), config)
+        with ServerHandle(server) as (host, port):
+            victim = server._workers[0].worker
+            os.kill(victim._proc.pid, signal.SIGKILL)
+            victim._proc.join(5)
+            with ServeClient(host, port) as client:
+                stats = client.stats()
+        by_index = {w["index"]: w for w in stats["workers"]}
+        assert by_index[0]["status"] == "dead"
+        assert by_index[1]["status"] == "up"
+        assert by_index[1].get("model")  # the live one was described
+
+    def test_render_top_frame(self, served):
+        _, host, port = served
+        with ServeClient(host, port) as client:
+            client.match({"t": "usb"}, {"t": "usb stick"})
+            frame = render_top(client.metrics())
+        assert "repro top" in frame
+        assert "p99" in frame and "reject-rate" in frame
+        assert "worker  0" in frame
+
+
+class TestSlo:
+    def _spec(self, **kw):
+        return SloSpec(**kw)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown SLO spec field"):
+            SloSpec.from_dict({"p99": 10.0})
+
+    def test_load_and_to_dict_round_trip(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"p99_ms": 250.0, "min_requests": 5}))
+        spec = SloSpec.load(path)
+        assert spec.p99_ms == 250.0 and spec.min_requests == 5
+        assert spec.to_dict() == {"p99_ms": 250.0, "min_requests": 5,
+                                  "window_s": 30.0}
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            SloSpec.load(path)
+
+    def test_evaluate_breach_matrix(self):
+        spec = self._spec(p99_ms=100.0, rejection_rate=0.05,
+                          max_queue_depth=8, worker_restarts=1)
+        clean = {"completed": 50, "latency_p99_ms": 40.0,
+                 "rejection_rate": 0.0, "queue_depth": 2,
+                 "worker_restarts": 0}
+        assert spec.evaluate(clean) == []
+        hot = dict(clean, latency_p99_ms=500.0, rejection_rate=0.5,
+                   queue_depth=100, worker_restarts=3)
+        rules = {b.rule for b in spec.evaluate(hot)}
+        assert rules == {"p99_ms", "rejection_rate", "max_queue_depth",
+                         "worker_restarts"}
+        breach = spec.evaluate(hot)[0]
+        assert ">" in breach.message() and "limit" in breach.message()
+
+    def test_latency_rules_gated_on_min_requests(self):
+        spec = self._spec(p99_ms=1.0, worker_restarts=0, min_requests=20)
+        idle = {"completed": 3, "latency_p99_ms": 9999.0,
+                "worker_restarts": 1}
+        # Percentile rules wait for samples; structural rules never do.
+        assert [b.rule for b in spec.evaluate(idle)] == ["worker_restarts"]
+
+    def test_missing_metric_for_set_rule_is_breach(self):
+        spec = self._spec(p99_ms=100.0, min_requests=1)
+        (breach,) = spec.evaluate({"completed": 50})
+        assert breach.rule == "p99_ms"
+        assert breach.value != breach.value  # NaN: unmeasurable
+
+    def test_peak_depth_key_switches_post_hoc(self):
+        spec = self._spec(max_queue_depth=4)
+        live = {"completed": 1, "queue_depth": 9}
+        post = {"completed": 1, "peak_queue_depth": 9}
+        assert spec.evaluate(live)[0].rule == "max_queue_depth"
+        assert spec.evaluate(post, peak_depth=True)[0].rule == \
+               "max_queue_depth"
+        assert spec.evaluate(live, peak_depth=True)[0].value != \
+               spec.evaluate(live, peak_depth=True)[0].value  # NaN
+
+    def test_daemon_records_breaches_into_run_registry(
+            self, dual_model, encoder, tmp_path):
+        """Live monitoring: a tight spec breaches during serving; the
+        breach lands in the counters, the recent ring, and — because a
+        serve run is recording — the run registry's event stream."""
+        spec = self._spec(p99_ms=1e-6, min_requests=1)
+        config = ServeConfig(port=0, max_batch=4, max_delay=0.002,
+                             slo=spec, slo_interval=3600.0)
+        server = MatchServer(_scorer_factory(dual_model, encoder), config)
+        store = RunStore(tmp_path)
+        writer = store.create(name="slo-live", kind="serve")
+        with recording(writer):
+            with ServerHandle(server) as (host, port):
+                with ServeClient(host, port) as client:
+                    client.match({"t": "usb"}, {"t": "usb stick"})
+                    breaches = server.check_slo()
+                    stats = client.stats()
+        writer.finish(**server.final_metrics())
+
+        assert any(b.rule == "p99_ms" for b in breaches)
+        assert stats["slo"]["breaches"] >= 1
+        assert any("p99_ms" in line for line in stats["slo"]["recent"])
+        assert stats["slo"]["spec"]["p99_ms"] == pytest.approx(1e-6)
+        record = store.resolve("slo-live")
+        events = [e for e in record.events() if e["name"] == "slo_breach"]
+        assert events and events[0]["rule"] == "p99_ms"
+        assert events[0]["value"] > events[0]["limit"]
+        assert record.metrics["slo_breaches"] >= 1
+        # check_run surfaces both the metric and the live events.
+        violations = check_run(record.manifest, spec, record.events())
+        assert any("p99_ms" in v for v in violations)
+        assert any("live slo_breach event" in v for v in violations)
+
+    def test_check_run_clean_and_missing_metric(self):
+        spec = self._spec(p99_ms=100.0, worker_restarts=0, min_requests=1)
+        clean = {"metrics": {"completed": 10, "latency_p99_ms": 5.0,
+                             "worker_restarts": 0}}
+        assert check_run(clean, spec, []) == []
+        bare = {"metrics": {"completed": 10, "worker_restarts": 0}}
+        (violation,) = check_run(bare, spec, [])
+        assert "recorded no 'latency_p99_ms' metric" in violation
+
+
+class TestServeObservabilityCli:
+    def _make_run(self, root, name, **metrics):
+        store = RunStore(root)
+        writer = store.create(name=name, kind="serve")
+        writer.finish(**metrics)
+        return store
+
+    def _spec_file(self, tmp_path, **fields):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(fields))
+        return str(path)
+
+    CLEAN = dict(completed=100, requests=100, latency_p50_ms=5.0,
+                 latency_p99_ms=20.0, rejection_rate=0.0,
+                 worker_restarts=0, peak_queue_depth=3)
+
+    def test_slo_check_passes_clean_run(self, tmp_path, capsys):
+        from repro.cli import main
+
+        self._make_run(tmp_path / "runs", "good", **self.CLEAN)
+        spec = self._spec_file(tmp_path, p99_ms=100.0, rejection_rate=0.05,
+                               max_queue_depth=64, worker_restarts=2)
+        assert main(["slo", "check", "good", "--spec", spec,
+                     "--root", str(tmp_path / "runs")]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_slo_check_fails_on_breach(self, tmp_path, capsys):
+        from repro.cli import main
+
+        hot = dict(self.CLEAN, latency_p99_ms=5000.0, worker_restarts=9)
+        self._make_run(tmp_path / "runs", "hot", **hot)
+        spec = self._spec_file(tmp_path, p99_ms=100.0, worker_restarts=2)
+        assert main(["slo", "check", "hot", "--spec", spec,
+                     "--root", str(tmp_path / "runs")]) == 1
+        out = capsys.readouterr().out
+        assert "SLO BREACH" in out
+        assert "p99_ms" in out and "worker_restarts" in out
+
+    def test_slo_check_fails_on_live_breach_events(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = RunStore(tmp_path / "runs")
+        writer = store.create(name="eventful", kind="serve")
+        writer.log_event("slo_breach", rule="p99_ms", value=9.0, limit=1.0)
+        writer.finish(**self.CLEAN)
+        spec = self._spec_file(tmp_path, p99_ms=100.0)
+        assert main(["slo", "check", "eventful", "--spec", spec,
+                     "--root", str(tmp_path / "runs")]) == 1
+        assert "live slo_breach" in capsys.readouterr().out
+
+    def test_slo_check_bad_inputs_exit_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = self._spec_file(tmp_path, p99_ms=100.0)
+        assert main(["slo", "check", "ghost", "--spec", spec,
+                     "--root", str(tmp_path / "runs")]) == 2
+        assert main(["slo", "check", "latest",
+                     "--spec", str(tmp_path / "absent.json"),
+                     "--root", str(tmp_path / "runs")]) == 2
+        bad = self._spec_file(tmp_path, p99=1.0)
+        assert main(["slo", "check", "latest", "--spec", bad,
+                     "--root", str(tmp_path / "runs")]) == 2
+
+    def test_top_renders_one_frame_and_exits(self, served, capsys):
+        from repro.cli import main
+
+        _, host, port = served
+        assert main(["top", "--host", host, "--port", str(port),
+                     "--count", "1", "--no-clear"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out and "p99" in out
+
+    def test_top_unreachable_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["top", "--host", "127.0.0.1", "--port", "1",
+                     "--count", "1", "--no-clear"]) == 2
+
+    def test_serve_record_seals_run_with_final_metrics(
+            self, dual_model, encoder, tmp_path):
+        """--record integration, exercised at the daemon layer the CLI
+        wraps: a recorded serve run's manifest carries the final-metrics
+        keys `repro slo check` audits."""
+        store = RunStore(tmp_path)
+        writer = store.create(name="session", kind="serve",
+                              config={"window_s": 30.0})
+        config = ServeConfig(port=0, max_batch=4, max_delay=0.002)
+        server = MatchServer(_scorer_factory(dual_model, encoder), config)
+        with recording(writer):
+            with ServerHandle(server) as (host, port):
+                with ServeClient(host, port) as client:
+                    client.match_many(
+                        _random_requests(np.random.default_rng(34), 5))
+        writer.finish(**server.final_metrics())
+        record = store.resolve("session")
+        assert record.manifest["kind"] == "serve"
+        for key in ("requests", "completed", "rejected", "rejection_rate",
+                    "latency_p50_ms", "latency_p99_ms", "pairs_per_s",
+                    "worker_restarts", "peak_queue_depth", "slo_breaches"):
+            assert key in record.metrics, key
+        assert record.metrics["completed"] == 5
+        spec = SloSpec(p99_ms=60_000.0, worker_restarts=0, min_requests=1)
+        assert check_run(record.manifest, spec, record.events()) == []
